@@ -1,0 +1,96 @@
+// Ablation study (beyond the paper's figures, over the design choices the
+// paper argues for):
+//  * controller structure: P vs PI vs PID at the PIC tier;
+//  * deadband on/off (quantization-aware actuation);
+//  * MaxBIPS static table vs a live-re-predicting MaxBIPS;
+//  * frozen vs adaptive transducer calibration.
+#include <iostream>
+
+#include "bench_util.h"
+#include "control/tuning.h"
+#include "core/experiment.h"
+
+namespace {
+
+struct Row {
+  std::string label;
+  double overshoot;
+  double undershoot;
+  double mean_err;
+  double power_frac;
+  double degradation;
+};
+
+Row run(const std::string& label, const cpm::core::SimulationConfig& cfg) {
+  const cpm::core::ManagedVsBaseline mb =
+      cpm::core::run_with_baseline(cfg, cpm::core::kDefaultDurationS);
+  const cpm::core::ChipTrackingMetrics chip =
+      cpm::core::chip_tracking_metrics(mb.managed.gpm_records);
+  return {label, chip.max_overshoot, chip.max_undershoot, chip.mean_abs_error,
+          mb.managed.avg_chip_power_w / mb.managed.max_chip_power_w,
+          mb.degradation};
+}
+
+}  // namespace
+
+int main() {
+  using namespace cpm;
+  bench::header("Ablation", "controller and sensing design choices (80% budget)");
+
+  std::vector<Row> rows;
+
+  // Controller structure.
+  {
+    core::SimulationConfig cfg = core::default_config(0.8);
+    rows.push_back(run("PID (paper)", cfg));
+    cfg.pid_gains = {0.4, 0.4, 0.0};
+    rows.push_back(run("PI  (Kd=0)", cfg));
+    cfg.pid_gains = {0.4, 0.0, 0.0};
+    rows.push_back(run("P   (Ki=Kd=0)", cfg));
+    // Auto-tuned for a tamer step response (<=15 % overshoot) at the
+    // nominal plant gain, via the ITAE-optimal design search.
+    control::DesignSpec spec;
+    spec.max_overshoot = 0.15;
+    if (const auto tuned = control::design_pid(0.79, spec)) {
+      cfg.pid_gains = tuned->gains;
+      rows.push_back(run("PID auto-tuned (<=15% overshoot)", cfg));
+    }
+  }
+
+  // MaxBIPS table fidelity.
+  {
+    core::SimulationConfig cfg =
+        core::with_manager(core::default_config(0.8), core::ManagerKind::kMaxBips);
+    rows.push_back(run("MaxBIPS static table", cfg));
+    cfg.maxbips_dynamic = true;
+    rows.push_back(run("MaxBIPS live repredict", cfg));
+  }
+
+  // Transducer calibration and observer-based sensing under noise.
+  {
+    core::SimulationConfig cfg = core::default_config(0.8);
+    cfg.sensor_noise_sigma = 0.08;
+    rows.push_back(run("frozen transducer + 8% sensor noise", cfg));
+    cfg.adaptive_transducer = true;
+    rows.push_back(run("adaptive transducer + 8% sensor noise", cfg));
+    cfg.adaptive_transducer = false;
+    cfg.pic_observer_gain = 0.3;
+    rows.push_back(run("Luenberger observer + 8% sensor noise", cfg));
+  }
+
+  util::AsciiTable table({"variant", "chip overshoot", "chip undershoot",
+                          "mean |err|", "power (% max)", "degradation"});
+  for (const auto& r : rows) {
+    table.add_row({r.label, util::AsciiTable::pct(r.overshoot),
+                   util::AsciiTable::pct(r.undershoot),
+                   util::AsciiTable::pct(r.mean_err),
+                   util::AsciiTable::num(r.power_frac * 100, 1),
+                   util::AsciiTable::pct(r.degradation)});
+  }
+  table.print(std::cout);
+  bench::note("with one-level DVFS quanta and a deadband, the P/PI/PID gaps are");
+  bench::note("small and the auto-tuned design trims the mean error; the big gap");
+  bench::note("is feedback vs the open-loop MaxBIPS table (stranded budget), and");
+  bench::note("under sensor noise the observer halves the worst overshoot.");
+  return 0;
+}

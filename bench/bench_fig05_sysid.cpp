@@ -1,0 +1,111 @@
+// Fig. 5: actual power consumption vs. the open-loop model prediction
+//   P(t+1) = P(t) + a_i * d(t)        (paper Eq. 8)
+// Methodology (paper Sec. II-D): run bodytrack on all islands, modulate the
+// DVFS levels with white noise, least-squares fit a_i, then compare the
+// model's one-step-ahead prediction with the measured power. The paper
+// reports an average error well within 10 %.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "control/system_id.h"
+#include "power/model.h"
+#include "sim/chip.h"
+#include "thermal/rc_model.h"
+#include "core/simulation.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace cpm;
+  bench::header("Fig. 5", "actual power vs. Eq. 8 model prediction (bodytrack)");
+
+  // bodytrack on every core of the default 8-core chip.
+  sim::CmpConfig cfg = sim::CmpConfig::default_8core();
+  workload::Mix mix;
+  mix.name = "bodytrack-everywhere";
+  for (std::size_t i = 0; i < 4; ++i) {
+    mix.islands.push_back({&workload::find_profile("btrack"),
+                           &workload::find_profile("btrack")});
+  }
+  sim::Chip chip(cfg, mix, /*seed=*/42);
+  power::PowerModel power_model(cfg);
+  thermal::RcThermalModel thermal(core::make_floorplan(8), {});
+  util::Xoshiro256pp rng(7);
+
+  const double dt = cfg.tick_seconds();
+  const std::size_t intervals = 400;
+  std::vector<double> chip_power, freq0;
+  std::vector<std::vector<double>> island_power(4), island_freq(4);
+  std::vector<double> core_powers(8, 0.0);
+
+  for (std::size_t k = 0; k < intervals; ++k) {
+    double interval_power = 0.0;
+    std::vector<double> ip(4, 0.0);
+    for (std::size_t t = 0; t < cfg.ticks_per_pic_interval; ++t) {
+      const sim::ChipTick tick = chip.step(dt);
+      for (std::size_t i = 0; i < 4; ++i) {
+        const auto op = chip.island(i).operating_point();
+        for (std::size_t c = 0; c < 2; ++c) {
+          const double p =
+              power_model
+                  .core_power(tick.islands[i].cores[c], op, i,
+                              thermal.temperature(i * 2 + c))
+                  .total();
+          core_powers[i * 2 + c] = p;
+          ip[i] += p;
+        }
+      }
+      thermal.step(core_powers, dt);
+    }
+    const double ticks = static_cast<double>(cfg.ticks_per_pic_interval);
+    for (std::size_t i = 0; i < 4; ++i) {
+      island_power[i].push_back(ip[i] / ticks);
+      island_freq[i].push_back(chip.island(i).operating_point().freq_ghz);
+      interval_power += ip[i] / ticks;
+      // White-noise DVFS excitation.
+      chip.island(i).actuator().set_level(rng.uniform_int(8));
+    }
+    chip_power.push_back(interval_power);
+    freq0.push_back(island_freq[0].back());
+  }
+
+  // Fit a_i per island on the first half, validate on the second half.
+  const std::size_t half = intervals / 2;
+  std::vector<double> gains(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<double> df, dp;
+    for (std::size_t k = 1; k < half; ++k) {
+      df.push_back(island_freq[i][k] - island_freq[i][k - 1]);
+      dp.push_back(island_power[i][k] - island_power[i][k - 1]);
+    }
+    const control::GainEstimate est = control::estimate_plant_gain(df, dp);
+    gains[i] = est.gain;
+    std::printf("  island %zu: a_i = %.3f W/GHz (R^2 = %.3f)\n", i + 1,
+                est.gain, est.r_squared);
+  }
+
+  // One-step-ahead prediction on the held-out half.
+  std::vector<double> actual, predicted;
+  for (std::size_t k = half; k + 1 < intervals; ++k) {
+    double pred = 0.0, act = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      pred += island_power[i][k] +
+              gains[i] * (island_freq[i][k + 1] - island_freq[i][k]);
+      act += island_power[i][k + 1];
+    }
+    predicted.push_back(pred);
+    actual.push_back(act);
+  }
+  const double err = util::mean_abs_pct_error(predicted, actual);
+  std::printf("\n  mean |model - actual| / actual = %.2f %%  (paper: < 10 %%)\n",
+              err * 100.0);
+
+  bench::note("sample series (W), first 16 validation intervals:");
+  bench::series("actual",
+                std::vector<double>(actual.begin(), actual.begin() + 16), 1);
+  bench::series("model",
+                std::vector<double>(predicted.begin(), predicted.begin() + 16),
+                1);
+  return err < 0.10 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark) for the management machinery itself:
+// the cost of one PID update, one PIC invocation, one GPM provisioning
+// decision, one MaxBIPS DP solve, and one full simulation tick. The paper
+// charges 0.5 % of CPU time per DVFS transition and argues the controllers
+// are cheap; these numbers substantiate that for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "control/pid.h"
+#include "core/experiment.h"
+#include "core/maxbips.h"
+#include "core/perf_policy.h"
+#include "core/pic.h"
+#include "sim/chip.h"
+#include "workload/mixes.h"
+
+namespace {
+
+using namespace cpm;
+
+void BM_PidUpdate(benchmark::State& state) {
+  control::PidController pid{control::PidConfig{}};
+  double e = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pid.update(e));
+    e = -e;
+  }
+}
+BENCHMARK(BM_PidUpdate);
+
+void BM_PicInvoke(benchmark::State& state) {
+  core::PicConfig cfg;
+  cfg.power_scale_w = 70.0;
+  core::Pic pic(cfg, power::TransducerModel{20.0, 2.0, 0.96}, 2.0);
+  pic.set_target_w(12.0);
+  double u = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pic.invoke(u, 0.8));
+    u = u < 0.9 ? u + 0.01 : 0.3;
+  }
+}
+BENCHMARK(BM_PicInvoke);
+
+void BM_GpmProvision(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::PerformanceAwarePolicy policy;
+  std::vector<core::IslandObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs[i].bips = 1.0 + 0.1 * static_cast<double>(i);
+    obs[i].power_w = 10.0;
+  }
+  std::vector<double> prev(n, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.provision(80.0, obs, prev));
+  }
+}
+BENCHMARK(BM_GpmProvision)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MaxBipsSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::MaxBipsManager mgr(core::MaxBipsConfig{}, 10.0 * double(n) * 0.8);
+  std::vector<core::IslandObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs[i].bips = 1.0 + 0.2 * static_cast<double>(i);
+    obs[i].power_w = 10.0;
+    obs[i].dvfs_level = 7;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.choose_levels(obs));
+  }
+}
+BENCHMARK(BM_MaxBipsSolve)->Arg(4)->Arg(8);
+
+void BM_ChipTick(benchmark::State& state) {
+  sim::Chip chip(sim::CmpConfig::default_8core(), workload::mix1(), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.step(1e-4));
+  }
+}
+BENCHMARK(BM_ChipTick);
+
+void BM_FullGpmWindow(benchmark::State& state) {
+  // One GPM window of the full coordinated simulation (50 ticks + 10 PIC
+  // invocations + 1 GPM invocation), amortized.
+  core::Simulation sim(core::default_config(0.8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(5e-3));
+  }
+}
+BENCHMARK(BM_FullGpmWindow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table regeneration harness. Each bench
+// binary prints the same rows/series the paper's corresponding figure or
+// table reports, using these formatting utilities.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace cpm::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << "  " << text << "\n"; }
+
+/// Prints a time series as "label: v0 v1 v2 ..." with fixed precision.
+inline void series(const std::string& label, const std::vector<double>& values,
+                   int precision = 1) {
+  std::printf("  %-18s", (label + ":").c_str());
+  for (const double v : values) std::printf(" %6.*f", precision, v);
+  std::printf("\n");
+}
+
+}  // namespace cpm::bench

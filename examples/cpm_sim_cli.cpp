@@ -1,0 +1,256 @@
+// Full command-line driver for the simulation platform: choose topology,
+// workload mix, manager, policy, budget, duration and seed; optionally dump
+// the full PIC/GPM traces and the run summary to CSV for external plotting.
+//
+//   cpm_sim_cli --cores 8 --budget 0.8 --policy perf --duration 0.25
+//               --csv-prefix /tmp/run1
+//
+// Exercises: the entire public API surface, trace export.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/trace_io.h"
+#include "util/table.h"
+#include "workload/mixes.h"
+
+namespace {
+
+struct CliOptions {
+  std::size_t cores = 8;
+  double budget = 0.8;
+  std::string manager = "cpm";
+  std::string policy = "perf";
+  std::string mix = "default";
+  double duration = cpm::core::kDefaultDurationS;
+  std::uint64_t seed = 42;
+  std::string csv_prefix;
+  std::string report_path;
+  bool baseline = false;  // also run NoDVFS and report degradation
+};
+
+void usage() {
+  std::cout <<
+      "cpm_sim_cli -- coordinated power management simulation driver\n\n"
+      "options:\n"
+      "  --cores N         8 (default), 16 or 32\n"
+      "  --budget F        chip budget as a fraction of max power (0.8)\n"
+      "  --manager M       cpm | maxbips | nodvfs (cpm)\n"
+      "  --policy P        perf | thermal | variation | energy (perf)\n"
+      "  --mix M           default | mix2 (8-core only)\n"
+      "  --duration S      simulated seconds (0.25)\n"
+      "  --seed N          RNG seed (42)\n"
+      "  --csv-prefix P    write P_pic.csv, P_gpm.csv, P_summary.csv\n"
+      "  --report FILE     write a markdown run report\n"
+      "  --baseline        also run the NoDVFS reference, report degradation\n"
+      "  --help            this text\n";
+}
+
+enum class ParseResult { kRun, kHelp, kError };
+
+/// std::stod/stoul wrappers that report bad numbers instead of throwing
+/// out of main (an uncaught exception would abort on e.g. `--budget abc`).
+bool parse_double(const char* text, const std::string& flag, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    if (used != std::string(text).size()) throw std::invalid_argument(text);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "bad number for " << flag << ": '" << text << "'\n";
+    return false;
+  }
+}
+
+bool parse_uint(const char* text, const std::string& flag, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    if (used != std::string(text).size()) throw std::invalid_argument(text);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "bad number for " << flag << ": '" << text << "'\n";
+    return false;
+  }
+}
+
+ParseResult parse(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return ParseResult::kHelp;
+    } else if (arg == "--cores") {
+      const char* v = next();
+      std::uint64_t cores = 0;
+      if (!v || !parse_uint(v, arg, cores)) return ParseResult::kError;
+      opt.cores = static_cast<std::size_t>(cores);
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v || !parse_double(v, arg, opt.budget)) return ParseResult::kError;
+    } else if (arg == "--manager") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.manager = v;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.policy = v;
+    } else if (arg == "--mix") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.mix = v;
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (!v || !parse_double(v, arg, opt.duration)) return ParseResult::kError;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v || !parse_uint(v, arg, opt.seed)) return ParseResult::kError;
+    } else if (arg == "--csv-prefix") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.csv_prefix = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.report_path = v;
+    } else if (arg == "--baseline") {
+      opt.baseline = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return ParseResult::kError;
+    }
+  }
+  return ParseResult::kRun;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpm;
+  CliOptions opt;
+  switch (parse(argc, argv, opt)) {
+    case ParseResult::kHelp:
+      return 0;
+    case ParseResult::kError:
+      return 1;
+    case ParseResult::kRun:
+      break;
+  }
+
+  core::SimulationConfig config;
+  try {
+    config = core::scaled_config(opt.cores, opt.budget, opt.seed);
+    if (opt.mix == "mix2") {
+      if (opt.cores != 8) {
+        std::cerr << "--mix mix2 requires --cores 8\n";
+        return 1;
+      }
+      config.mix = workload::mix2();
+    } else if (opt.mix != "default") {
+      std::cerr << "unknown mix: " << opt.mix << "\n";
+      return 1;
+    }
+
+    if (opt.manager == "cpm") {
+      config.manager = core::ManagerKind::kCpm;
+    } else if (opt.manager == "maxbips") {
+      config.manager = core::ManagerKind::kMaxBips;
+    } else if (opt.manager == "nodvfs") {
+      config.manager = core::ManagerKind::kNoDvfs;
+    } else {
+      std::cerr << "unknown manager: " << opt.manager << "\n";
+      return 1;
+    }
+
+    if (opt.policy == "perf") {
+      config.policy = core::PolicyKind::kPerformance;
+    } else if (opt.policy == "thermal") {
+      config.policy = core::PolicyKind::kThermal;
+    } else if (opt.policy == "variation") {
+      config.policy = core::PolicyKind::kVariation;
+      config.island_leak_mults.assign(config.cmp.num_islands, 1.0);
+      // Default variation pattern: alternate leaky/normal islands.
+      for (std::size_t i = 0; i < config.island_leak_mults.size(); i += 2) {
+        config.island_leak_mults[i] = 1.5;
+      }
+    } else if (opt.policy == "energy") {
+      config.policy = core::PolicyKind::kEnergy;
+    } else {
+      std::cerr << "unknown policy: " << opt.policy << "\n";
+      return 1;
+    }
+
+    core::Simulation sim(config);
+    std::cout << "max chip power: " << sim.max_chip_power_w() << " W, budget "
+              << sim.budget_w() << " W (" << opt.budget * 100 << "%)\n";
+    const core::SimulationResult result = sim.run(opt.duration);
+
+    const core::ChipTrackingMetrics chip =
+        core::chip_tracking_metrics(result.gpm_records);
+    util::AsciiTable table({"metric", "value"});
+    table.add_row({"mean chip power",
+                   util::AsciiTable::num(result.avg_chip_power_w, 2) + " W (" +
+                       util::AsciiTable::pct(result.avg_chip_power_w /
+                                             result.max_chip_power_w) +
+                       " of max)"});
+    table.add_row({"chip overshoot", util::AsciiTable::pct(chip.max_overshoot)});
+    table.add_row({"chip undershoot", util::AsciiTable::pct(chip.max_undershoot)});
+    table.add_row({"mean |error|", util::AsciiTable::pct(chip.mean_abs_error)});
+    table.add_row({"mean chip BIPS", util::AsciiTable::num(result.avg_chip_bips, 3)});
+    table.add_row({"instructions", util::AsciiTable::num(result.total_instructions, 0)});
+    table.add_row({"DVFS transitions", util::AsciiTable::num(result.dvfs_transitions, 0)});
+    table.add_row({"hotspot time", util::AsciiTable::pct(result.hotspot_fraction)});
+
+    if (opt.baseline && config.manager != core::ManagerKind::kNoDvfs) {
+      core::SimulationConfig base_cfg = config;
+      base_cfg.manager = core::ManagerKind::kNoDvfs;
+      core::Simulation baseline(base_cfg);
+      const core::SimulationResult base = baseline.run(opt.duration);
+      table.add_row({"degradation vs NoDVFS",
+                     util::AsciiTable::pct(
+                         core::performance_degradation(result, base))});
+    }
+    table.print(std::cout);
+
+    if (!opt.report_path.empty()) {
+      std::ofstream report(opt.report_path);
+      if (!report) {
+        std::cerr << "cannot open report file " << opt.report_path << "\n";
+        return 1;
+      }
+      core::write_markdown_report(report, config, result);
+      std::cout << "report written to " << opt.report_path << "\n";
+    }
+
+    if (!opt.csv_prefix.empty()) {
+      std::ofstream pic(opt.csv_prefix + "_pic.csv");
+      std::ofstream gpm(opt.csv_prefix + "_gpm.csv");
+      std::ofstream summary(opt.csv_prefix + "_summary.csv");
+      if (!pic || !gpm || !summary) {
+        std::cerr << "cannot open CSV outputs with prefix " << opt.csv_prefix
+                  << "\n";
+        return 1;
+      }
+      core::write_pic_trace_csv(pic, result.pic_records);
+      core::write_gpm_trace_csv(gpm, result.gpm_records);
+      core::write_summary_csv(summary, result);
+      std::cout << "traces written to " << opt.csv_prefix << "_{pic,gpm,summary}.csv\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Scenario: a datacenter operator caps a CMP node at successively tighter
+// rack-level power budgets and wants to know what each cap costs in
+// throughput -- and how the closed-loop CPM manager compares with the
+// open-loop MaxBIPS table and with no management at all.
+//
+// Exercises: budget sweeps, manager comparison, chip tracking metrics.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cpm;
+
+  const std::vector<double> caps{1.0, 0.9, 0.8, 0.7, 0.6};
+  std::cout << "Power-capping an 8-core CMP (PARSEC Mix-1), caps as % of the\n"
+               "measured unmanaged peak. Degradation is instruction loss vs\n"
+               "the uncapped chip.\n\n";
+
+  // The budget sweep reuses one NoDVFS baseline internally.
+  const auto cpm_points =
+      core::budget_sweep(core::default_config(), caps, core::kDefaultDurationS);
+  const auto maxbips_points = core::budget_sweep(
+      core::with_manager(core::default_config(), core::ManagerKind::kMaxBips),
+      caps, core::kDefaultDurationS);
+
+  util::AsciiTable table({"cap", "CPM power", "CPM degradation",
+                          "CPM overshoot", "MaxBIPS power",
+                          "MaxBIPS degradation"});
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    table.add_row({util::AsciiTable::pct(caps[i], 0),
+                   util::AsciiTable::pct(cpm_points[i].avg_power_fraction, 1),
+                   util::AsciiTable::pct(cpm_points[i].degradation, 1),
+                   util::AsciiTable::pct(cpm_points[i].max_overshoot, 1),
+                   util::AsciiTable::pct(maxbips_points[i].avg_power_fraction, 1),
+                   util::AsciiTable::pct(maxbips_points[i].degradation, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table:\n"
+               "  * CPM rides each cap closely (power ~= cap) and converts the\n"
+               "    full cap into throughput; overshoot stays within a few %.\n"
+               "  * MaxBIPS never exceeds a cap but strands budget, so it\n"
+               "    gives up more performance at every operating point.\n";
+
+  // ---- live cap change -----------------------------------------------------
+  // The rack controller drops this node's cap from 90 % to 60 % mid-run
+  // (e.g. a neighbouring node spiked). The GPM re-provisions at the next
+  // 5 ms boundary and the PICs pull the chip down within a few intervals.
+  std::cout << "\nLive cap change: 90% -> 60% at t = 50 ms\n";
+  core::SimulationConfig dyn = core::default_config(0.9);
+  dyn.budget_schedule = {{0.05, 0.6}};
+  core::Simulation sim(dyn);
+  const core::SimulationResult res = sim.run(0.1);
+  std::cout << "  t(ms) : power (% of max) vs cap\n";
+  for (const auto& g : res.gpm_records) {
+    std::printf("  %5.0f : %5.1f%%  (cap %4.0f%%)%s\n", g.time_s * 1e3,
+                g.chip_actual_w / res.max_chip_power_w * 100.0,
+                g.chip_budget_w / res.max_chip_power_w * 100.0,
+                g.time_s >= 0.0495 && g.time_s <= 0.0505
+                    ? "   <- new cap takes effect"
+                    : "");
+  }
+  return 0;
+}

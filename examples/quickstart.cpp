@@ -1,0 +1,51 @@
+// Quickstart: run the paper's default configuration -- an 8-core CMP
+// (4 islands x 2 cores) running PARSEC Mix-1 under an 80 % chip power budget
+// with the two-tier CPM manager -- and print the tracking summary.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cpm;
+
+  // 1. Describe the experiment: chip topology, workload mix, manager.
+  core::SimulationConfig config = core::default_config(/*budget_fraction=*/0.8);
+
+  // 2. Build the simulation. Construction runs the offline calibration pass
+  //    (transducer fit + plant-gain identification, paper Figs. 5-6).
+  core::Simulation sim(config);
+  std::cout << "Max chip power : " << sim.max_chip_power_w() << " W\n";
+  std::cout << "Budget (80 %)  : " << sim.budget_w() << " W\n\n";
+
+  // 3. Run 0.25 simulated seconds (50 GPM intervals, 500 PIC invocations).
+  const core::SimulationResult result = sim.run(core::kDefaultDurationS);
+
+  // 4. Report chip-level tracking (paper Fig. 10).
+  const core::ChipTrackingMetrics chip =
+      core::chip_tracking_metrics(result.gpm_records);
+  std::cout << "Chip power tracking vs budget:\n"
+            << "  mean power     : " << chip.mean_power_w << " W ("
+            << chip.mean_power_w / result.max_chip_power_w * 100.0
+            << " % of max)\n"
+            << "  max overshoot  : " << chip.max_overshoot * 100.0 << " %\n"
+            << "  max undershoot : " << chip.max_undershoot * 100.0 << " %\n\n";
+
+  // 5. Report per-island PIC tracking (paper Figs. 8-9).
+  util::AsciiTable table({"island", "max overshoot", "settling PIC inv. (mean, worst)",
+                          "steady-state err", "mean err"});
+  for (std::size_t i = 0; i < config.cmp.num_islands; ++i) {
+    const core::IslandTrackingMetrics m =
+        core::island_tracking_metrics(result.pic_records, i);
+    table.add_row({std::to_string(i + 1), util::AsciiTable::pct(m.max_overshoot),
+                   util::AsciiTable::num(m.mean_settling_time, 1) + " (worst " + std::to_string(m.worst_settling_time) + ")",
+                   util::AsciiTable::pct(m.steady_state_error),
+                   util::AsciiTable::pct(m.mean_tracking_error)});
+  }
+  table.print(std::cout);
+  return 0;
+}

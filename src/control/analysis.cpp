@@ -1,0 +1,116 @@
+#include "control/analysis.h"
+
+#include <cmath>
+
+#include "control/roots.h"
+
+namespace cpm::control {
+
+bool jury_stable(const Polynomial& p) {
+  // Schur-Cohn recursion (the algebraic core of the Jury test):
+  // p (degree n >= 1) has all roots in |z| < 1 iff |a0| < |an| and the
+  // reduced polynomial q(z) = (an*p(z) - a0*p~(z))/z is stable, where p~ is
+  // p with reversed coefficients.
+  std::vector<double> a(p.coeffs().begin(), p.coeffs().end());
+  while (a.size() > 1) {
+    const double a0 = a.front();
+    const double an = a.back();
+    if (std::abs(a0) >= std::abs(an)) return false;
+    const std::size_t n = a.size() - 1;  // degree
+    std::vector<double> next(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      next[k] = an * a[k + 1] - a0 * a[n - 1 - k];
+    }
+    // Normalize to keep the coefficients well scaled across deep recursions.
+    double scale = 0.0;
+    for (const double c : next) scale = std::max(scale, std::abs(c));
+    if (scale > 0.0) {
+      for (double& c : next) c /= scale;
+    } else {
+      return false;  // degenerate reduction (roots on the circle)
+    }
+    a = std::move(next);
+  }
+  return true;  // constant polynomial: no roots
+}
+
+std::vector<FrequencyPoint> frequency_response(const TransferFunction& h,
+                                               std::size_t points,
+                                               double omega_min) {
+  std::vector<FrequencyPoint> response;
+  if (points == 0) return response;
+  response.reserve(points);
+  constexpr double kPi = 3.14159265358979323846;
+  const double log_min = std::log(omega_min);
+  const double log_max = std::log(kPi);
+  double prev_phase = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points > 1
+                         ? static_cast<double>(i) /
+                               static_cast<double>(points - 1)
+                         : 1.0;
+    const double omega = std::exp(log_min + t * (log_max - log_min));
+    const std::complex<double> z = std::polar(1.0, omega);
+    const std::complex<double> value = h.evaluate(z);
+
+    FrequencyPoint pt;
+    pt.omega = omega;
+    pt.magnitude = std::abs(value);
+    double phase = std::arg(value);
+    if (!first) {
+      // Unwrap: keep |phase - prev| <= pi.
+      while (phase - prev_phase > kPi) phase -= 2.0 * kPi;
+      while (phase - prev_phase < -kPi) phase += 2.0 * kPi;
+    }
+    first = false;
+    prev_phase = phase;
+    pt.phase_rad = phase;
+    pt.magnitude_db = 20.0 * std::log10(std::max(pt.magnitude, 1e-300));
+    response.push_back(pt);
+  }
+  return response;
+}
+
+StabilityMargins stability_margins(const TransferFunction& open_loop,
+                                   std::size_t points) {
+  StabilityMargins margins;
+  const auto resp = frequency_response(open_loop, points);
+  constexpr double kPi = 3.14159265358979323846;
+
+  for (std::size_t i = 1; i < resp.size(); ++i) {
+    const auto& a = resp[i - 1];
+    const auto& b = resp[i];
+    // Phase crossover of -pi (first crossing): gain margin.
+    if (!margins.gain_margin &&
+        (a.phase_rad + kPi) * (b.phase_rad + kPi) <= 0.0 &&
+        a.phase_rad != b.phase_rad) {
+      const double t = (-kPi - a.phase_rad) / (b.phase_rad - a.phase_rad);
+      const double mag = a.magnitude + t * (b.magnitude - a.magnitude);
+      if (mag > 0.0) margins.gain_margin = 1.0 / mag;
+    }
+    // Unity-gain crossover (first crossing): phase margin.
+    if (!margins.phase_margin_rad &&
+        (a.magnitude - 1.0) * (b.magnitude - 1.0) <= 0.0 &&
+        a.magnitude != b.magnitude) {
+      const double t = (1.0 - a.magnitude) / (b.magnitude - a.magnitude);
+      const double phase = a.phase_rad + t * (b.phase_rad - a.phase_rad);
+      margins.phase_margin_rad = phase + kPi;
+    }
+  }
+  return margins;
+}
+
+std::vector<std::vector<std::complex<double>>> root_locus(
+    const TransferFunction& open_loop, const std::vector<double>& gains) {
+  std::vector<std::vector<std::complex<double>>> locus;
+  locus.reserve(gains.size());
+  for (const double k : gains) {
+    const Polynomial characteristic =
+        open_loop.denominator() + k * open_loop.numerator();
+    locus.push_back(find_roots(characteristic));
+  }
+  return locus;
+}
+
+}  // namespace cpm::control

@@ -1,0 +1,30 @@
+#include "control/observer.h"
+
+#include <algorithm>
+
+namespace cpm::control {
+
+ScalarObserver::ScalarObserver(double input_gain_b, double observer_gain_l,
+                               double initial_estimate) noexcept
+    : b_(input_gain_b),
+      l_(std::clamp(observer_gain_l, 1e-3, 1.0)),
+      estimate_(initial_estimate) {}
+
+double ScalarObserver::update(double last_input, double measurement) noexcept {
+  if (!primed_) {
+    // First sample: trust the measurement entirely.
+    estimate_ = measurement;
+    primed_ = true;
+    return estimate_;
+  }
+  const double predicted = estimate_ + b_ * last_input;
+  estimate_ = predicted + l_ * (measurement - predicted);
+  return estimate_;
+}
+
+void ScalarObserver::reset(double initial_estimate) noexcept {
+  estimate_ = initial_estimate;
+  primed_ = false;
+}
+
+}  // namespace cpm::control

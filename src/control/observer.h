@@ -1,0 +1,35 @@
+// Scalar Luenberger observer for the island power plant (paper Eq. 8):
+//   x(t+1) = x(t) + b u(t),     y(t) = x(t) + measurement noise
+// The observer blends the model's one-step prediction with the noisy
+// measurement:  x̂ <- pred + L (y - pred),  pred = x̂ + b u.
+// With 0 < L < 1 this low-passes transducer noise without lagging DVFS-driven
+// power changes (the model tracks those exactly). Used as an optional
+// sensing filter in the PIC (extension beyond the paper, ablated in
+// bench_ablation_controller's sensor-noise rows).
+#pragma once
+
+namespace cpm::control {
+
+class ScalarObserver {
+ public:
+  /// `input_gain_b`: plant gain (output units per input unit).
+  /// `observer_gain_l` in (0, 1]: measurement trust; 1 = raw passthrough.
+  ScalarObserver(double input_gain_b, double observer_gain_l,
+                 double initial_estimate = 0.0) noexcept;
+
+  /// Consumes the input applied during the last interval and the new
+  /// measurement; returns the corrected state estimate.
+  double update(double last_input, double measurement) noexcept;
+
+  double estimate() const noexcept { return estimate_; }
+  bool primed() const noexcept { return primed_; }
+  void reset(double initial_estimate = 0.0) noexcept;
+
+ private:
+  double b_;
+  double l_;
+  double estimate_;
+  bool primed_ = false;
+};
+
+}  // namespace cpm::control

@@ -1,0 +1,30 @@
+#include "control/pid.h"
+
+#include <algorithm>
+
+namespace cpm::control {
+
+double PidController::update(double error, bool freeze_integral) noexcept {
+  // Integral includes the current sample: matches C(z) = Ki z/(z-1).
+  if (!freeze_integral) {
+    integral_ = std::clamp(integral_ + error, -config_.integral_limit,
+                           config_.integral_limit);
+  }
+  const double derivative = has_prev_error_ ? error - prev_error_ : 0.0;
+  prev_error_ = error;
+  has_prev_error_ = true;
+
+  const double raw = config_.gains.kp * error + config_.gains.ki * integral_ +
+                     config_.gains.kd * derivative;
+  last_output_ = std::clamp(raw, config_.output_min, config_.output_max);
+  return last_output_;
+}
+
+void PidController::reset() noexcept {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  last_output_ = 0.0;
+  has_prev_error_ = false;
+}
+
+}  // namespace cpm::control

@@ -1,0 +1,49 @@
+// Discrete PID controller in the paper's incremental form (Eq. 7):
+//   u(t) = u(t-1) + Kp e(t) + Ki sum_{k<=t} e(k) + Kd (e(t) - e(t-1))
+// with anti-windup on the integral term and output clamping to the actuator
+// range. Each PIC (per-island controller) owns one instance.
+#pragma once
+
+#include <limits>
+
+#include "control/stability.h"
+
+namespace cpm::control {
+
+struct PidConfig {
+  PidGains gains;
+  /// Clamp on the accumulated integral term (anti-windup). Units match the
+  /// error signal.
+  double integral_limit = std::numeric_limits<double>::infinity();
+  /// Clamp on the absolute controller output.
+  double output_min = -std::numeric_limits<double>::infinity();
+  double output_max = std::numeric_limits<double>::infinity();
+};
+
+class PidController {
+ public:
+  explicit PidController(const PidConfig& config = {}) : config_(config) {}
+
+  /// Processes one error sample; returns the clamped control output
+  /// (frequency delta in our usage). When `freeze_integral` is set, the
+  /// integral term is not accumulated -- conditional-integration anti-windup
+  /// for when the downstream actuator is saturated in the error's direction
+  /// and accumulating would only delay recovery.
+  double update(double error, bool freeze_integral = false) noexcept;
+
+  /// Resets dynamic state (integral, previous error/output).
+  void reset() noexcept;
+
+  const PidConfig& config() const noexcept { return config_; }
+  double integral() const noexcept { return integral_; }
+  double last_output() const noexcept { return last_output_; }
+
+ private:
+  PidConfig config_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  double last_output_ = 0.0;
+  bool has_prev_error_ = false;
+};
+
+}  // namespace cpm::control

@@ -1,0 +1,126 @@
+#include "control/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::control {
+
+Polynomial::Polynomial(std::vector<double> ascending_coeffs)
+    : coeffs_(std::move(ascending_coeffs)) {
+  trim();
+}
+
+Polynomial::Polynomial(std::initializer_list<double> ascending_coeffs)
+    : coeffs_(ascending_coeffs) {
+  trim();
+}
+
+Polynomial Polynomial::constant(double c) { return Polynomial{{c}}; }
+
+Polynomial Polynomial::monomial(std::size_t power, double coeff) {
+  std::vector<double> c(power + 1, 0.0);
+  c[power] = coeff;
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::from_roots(std::span<const std::complex<double>> roots) {
+  // Multiply out in complex arithmetic, then take real parts (conjugate root
+  // pairs are the caller's responsibility for a real result).
+  std::vector<std::complex<double>> c{1.0};
+  for (const auto& root : roots) {
+    std::vector<std::complex<double>> next(c.size() + 1, 0.0);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      next[i + 1] += c[i];
+      next[i] -= root * c[i];
+    }
+    c = std::move(next);
+  }
+  std::vector<double> real(c.size());
+  std::transform(c.begin(), c.end(), real.begin(),
+                 [](std::complex<double> v) { return v.real(); });
+  return Polynomial(std::move(real));
+}
+
+std::size_t Polynomial::degree() const noexcept {
+  return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+}
+
+double Polynomial::coeff(std::size_t power) const noexcept {
+  return power < coeffs_.size() ? coeffs_[power] : 0.0;
+}
+
+double Polynomial::leading_coeff() const noexcept {
+  return coeffs_.empty() ? 0.0 : coeffs_.back();
+}
+
+double Polynomial::evaluate(double z) const noexcept {
+  double acc = 0.0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * z + *it;
+  }
+  return acc;
+}
+
+std::complex<double> Polynomial::evaluate(std::complex<double> z) const noexcept {
+  std::complex<double> acc = 0.0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * z + *it;
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial{};
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < rhs.coeffs_.size(); ++i) out[i] += rhs.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < rhs.coeffs_.size(); ++i) out[i] -= rhs.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& rhs) const {
+  if (is_zero() || rhs.is_zero()) return Polynomial{};
+  std::vector<double> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> out(coeffs_);
+  for (auto& c : out) c *= scalar;
+  return Polynomial(std::move(out));
+}
+
+bool Polynomial::approx_equal(const Polynomial& rhs, double tol) const noexcept {
+  const std::size_t n = std::max(coeffs_.size(), rhs.coeffs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(coeff(i) - rhs.coeff(i)) > tol) return false;
+  }
+  return true;
+}
+
+void Polynomial::trim() noexcept {
+  while (!coeffs_.empty() && coeffs_.back() == 0.0) coeffs_.pop_back();
+}
+
+Polynomial operator*(double scalar, const Polynomial& p) { return p * scalar; }
+
+}  // namespace cpm::control

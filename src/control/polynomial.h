@@ -1,0 +1,61 @@
+// Real-coefficient polynomial arithmetic used for z-domain transfer-function
+// algebra (paper Eqs. 9-13). Coefficients are stored in ascending powers:
+// p(z) = c[0] + c[1] z + ... + c[n] z^n.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace cpm::control {
+
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// From ascending coefficients; trailing (highest-power) zeros are trimmed.
+  explicit Polynomial(std::vector<double> ascending_coeffs);
+  Polynomial(std::initializer_list<double> ascending_coeffs);
+
+  /// Constant polynomial.
+  static Polynomial constant(double c);
+  /// The monomial z^power.
+  static Polynomial monomial(std::size_t power, double coeff = 1.0);
+  /// Builds the monic polynomial with the given roots:  prod (z - r_i).
+  static Polynomial from_roots(std::span<const std::complex<double>> roots);
+
+  /// Degree; the zero polynomial reports degree 0.
+  std::size_t degree() const noexcept;
+  bool is_zero() const noexcept { return coeffs_.empty(); }
+  /// Coefficient of z^power (0 beyond the stored degree).
+  double coeff(std::size_t power) const noexcept;
+  /// Coefficient of the highest power (0 for the zero polynomial).
+  double leading_coeff() const noexcept;
+  std::span<const double> coeffs() const noexcept { return coeffs_; }
+
+  double evaluate(double z) const noexcept;
+  std::complex<double> evaluate(std::complex<double> z) const noexcept;
+
+  Polynomial derivative() const;
+
+  Polynomial operator+(const Polynomial& rhs) const;
+  Polynomial operator-(const Polynomial& rhs) const;
+  Polynomial operator*(const Polynomial& rhs) const;
+  Polynomial operator*(double scalar) const;
+
+  bool operator==(const Polynomial& rhs) const noexcept = default;
+
+  /// True if all coefficient pairs differ by at most `tol`.
+  bool approx_equal(const Polynomial& rhs, double tol = 1e-9) const noexcept;
+
+ private:
+  void trim() noexcept;
+  std::vector<double> coeffs_;
+};
+
+Polynomial operator*(double scalar, const Polynomial& p);
+
+}  // namespace cpm::control

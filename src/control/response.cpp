@@ -1,0 +1,57 @@
+#include "control/response.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::control {
+
+StepResponseMetrics step_metrics(std::span<const double> response,
+                                 double reference, double initial,
+                                 const StepMetricsOptions& options) {
+  StepResponseMetrics metrics;
+  if (response.empty()) return metrics;
+  const double step = reference - initial;
+  const double scale = std::abs(step) > 0.0 ? std::abs(step) : 1.0;
+
+  // Overshoot: how far past the reference the response travels, in the
+  // direction of the step.
+  double worst = 0.0;
+  for (const double y : response) {
+    const double past = (step >= 0.0) ? y - reference : reference - y;
+    worst = std::max(worst, past);
+  }
+  metrics.max_overshoot = worst / scale;
+
+  // Settling time: last exit from the band, plus one.
+  const double band = options.settling_band * scale;
+  std::size_t settle = 0;
+  bool settled = false;
+  for (std::size_t i = response.size(); i-- > 0;) {
+    if (std::abs(response[i] - reference) > band) {
+      settle = i + 1;
+      settled = settle < response.size();
+      break;
+    }
+    if (i == 0) {
+      settle = 0;  // never left the band
+      settled = true;
+    }
+  }
+  metrics.settling_time = settled ? settle : response.size();
+  metrics.settled = settled;
+
+  // Steady-state error from the tail mean.
+  const std::size_t tail =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   options.tail_fraction *
+                                   static_cast<double>(response.size())));
+  double tail_sum = 0.0;
+  for (std::size_t i = response.size() - tail; i < response.size(); ++i) {
+    tail_sum += response[i];
+  }
+  const double tail_mean = tail_sum / static_cast<double>(tail);
+  metrics.steady_state_error = std::abs(tail_mean - reference) / scale;
+  return metrics;
+}
+
+}  // namespace cpm::control

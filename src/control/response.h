@@ -1,0 +1,39 @@
+// Step-response quality metrics: the three controller-robustness measures the
+// paper evaluates (Sec. II-A): maximum overshoot, settling time (in controller
+// invocations), and steady-state error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cpm::control {
+
+struct StepResponseMetrics {
+  /// max(y) - reference, as a fraction of the reference step (0.02 == 2 %).
+  /// Zero when the response never exceeds the reference.
+  double max_overshoot = 0.0;
+  /// First index after which the response stays inside the settling band
+  /// around the reference forever. Equal to the series length if it never
+  /// settles.
+  std::size_t settling_time = 0;
+  /// |mean(tail) - reference| where the tail is the last `tail_fraction` of
+  /// samples, as a fraction of the reference.
+  double steady_state_error = 0.0;
+  bool settled = false;
+};
+
+struct StepMetricsOptions {
+  /// Settling band half-width as a fraction of the reference (2 % default).
+  double settling_band = 0.02;
+  /// Fraction of the series used to estimate the steady state.
+  double tail_fraction = 0.25;
+};
+
+/// Computes metrics of `response` against a constant `reference` step applied
+/// at t=0 from an initial value of `initial` (defaults to 0). The reference
+/// must differ from `initial`.
+StepResponseMetrics step_metrics(std::span<const double> response,
+                                 double reference, double initial = 0.0,
+                                 const StepMetricsOptions& options = {});
+
+}  // namespace cpm::control

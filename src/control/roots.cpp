@@ -1,0 +1,82 @@
+#include "control/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::control {
+
+std::vector<std::complex<double>> find_roots(const Polynomial& p,
+                                             const RootOptions& options) {
+  const std::size_t degree = p.degree();
+  if (p.is_zero() || degree == 0) return {};
+
+  // Normalize to a monic coefficient vector (ascending).
+  std::vector<std::complex<double>> coeffs(degree + 1);
+  const double lead = p.leading_coeff();
+  for (std::size_t i = 0; i <= degree; ++i) coeffs[i] = p.coeff(i) / lead;
+
+  // Cauchy bound on root magnitude gives the initial circle radius.
+  double bound = 0.0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    bound = std::max(bound, std::abs(coeffs[i]));
+  }
+  const double radius = 1.0 + bound;
+
+  auto eval = [&](std::complex<double> z) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t i = degree + 1; i-- > 0;) acc = acc * z + coeffs[i];
+    return acc;
+  };
+
+  // Initial guesses: points on a circle, deliberately not symmetric about the
+  // real axis (offset angle) so conjugate symmetry cannot stall the update.
+  std::vector<std::complex<double>> roots(degree);
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t i = 0; i < degree; ++i) {
+    const double angle =
+        2.0 * kPi * static_cast<double>(i) / static_cast<double>(degree) + 0.4;
+    roots[i] = std::polar(radius * 0.5 + 0.1, angle);
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      std::complex<double> denom = 1.0;
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      if (std::abs(denom) < 1e-300) {
+        // Perturb coincident estimates instead of dividing by ~0.
+        roots[i] += std::complex<double>(1e-6, 1e-6);
+        max_step = 1.0;
+        continue;
+      }
+      const std::complex<double> delta = eval(roots[i]) / denom;
+      roots[i] -= delta;
+      max_step = std::max(max_step, std::abs(delta));
+    }
+    if (max_step < options.tolerance) break;
+  }
+
+  // Snap near-real roots to the real axis (conjugate pairing noise).
+  for (auto& root : roots) {
+    if (std::abs(root.imag()) < 1e-9 * std::max(1.0, std::abs(root.real()))) {
+      root = {root.real(), 0.0};
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [](auto a, auto b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return roots;
+}
+
+double spectral_radius(const Polynomial& p, const RootOptions& options) {
+  double radius = 0.0;
+  for (const auto& root : find_roots(p, options)) {
+    radius = std::max(radius, std::abs(root));
+  }
+  return radius;
+}
+
+}  // namespace cpm::control

@@ -1,0 +1,28 @@
+// Polynomial root finding (Durand-Kerner / Weierstrass iteration). Used for
+// pole/zero extraction from z-domain transfer functions, replacing the
+// paper's use of Matlab for pole-placement analysis.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/polynomial.h"
+
+namespace cpm::control {
+
+struct RootOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+/// All complex roots of `p` (degree >= 1). The zero and constant polynomials
+/// have no roots and yield an empty vector. Roots are sorted by (real, imag)
+/// for deterministic output.
+std::vector<std::complex<double>> find_roots(const Polynomial& p,
+                                             const RootOptions& options = {});
+
+/// Largest root magnitude; 0 for root-free polynomials. For a characteristic
+/// polynomial in z this is the spectral radius that decides stability.
+double spectral_radius(const Polynomial& p, const RootOptions& options = {});
+
+}  // namespace cpm::control

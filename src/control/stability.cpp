@@ -1,0 +1,49 @@
+#include "control/stability.h"
+
+#include <cmath>
+
+#include "control/roots.h"
+
+namespace cpm::control {
+
+StabilityReport analyze_stability(const TransferFunction& closed_loop,
+                                  double margin) {
+  StabilityReport report;
+  report.poles = closed_loop.poles();
+  for (const auto& pole : report.poles) {
+    report.spectral_radius = std::max(report.spectral_radius, std::abs(pole));
+  }
+  report.stable = report.spectral_radius < 1.0 - margin;
+  return report;
+}
+
+TransferFunction cpm_closed_loop(double plant_gain, const PidGains& gains) {
+  const auto plant = TransferFunction::integrator_plant(plant_gain);
+  const auto controller = TransferFunction::pid(gains.kp, gains.ki, gains.kd);
+  return controller.series(plant).closed_loop_unity_feedback();
+}
+
+StabilityReport analyze_cpm_loop(double plant_gain, const PidGains& gains) {
+  return analyze_stability(cpm_closed_loop(plant_gain, gains));
+}
+
+double stable_gain_upper_bound(double nominal_plant_gain, const PidGains& gains,
+                               double g_search_max, double tolerance) {
+  auto stable_at = [&](double g) {
+    return analyze_cpm_loop(g * nominal_plant_gain, gains).stable;
+  };
+  // The loop integrator makes g -> 0+ stable whenever the controller is
+  // proper; verify a small gain first.
+  if (!stable_at(tolerance)) return 0.0;
+  double lo = tolerance;
+  double hi = g_search_max;
+  if (stable_at(hi)) return hi;  // stable across the whole searched range
+  // Invariant: stable at lo, unstable at hi.
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (stable_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace cpm::control

@@ -1,0 +1,46 @@
+// Closed-loop stability analysis (pole placement in the z-domain) and the
+// gain-robustness analysis of paper Sec. II-D "Stability Guarantees": with the
+// plant gain scaled from a to g*a, find the range of g that keeps every
+// closed-loop pole strictly inside the unit circle.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/transfer_function.h"
+
+namespace cpm::control {
+
+struct StabilityReport {
+  bool stable = false;
+  /// max |pole|; stable iff < 1 (with margin tolerance).
+  double spectral_radius = 0.0;
+  std::vector<std::complex<double>> poles;
+};
+
+/// Analyzes the closed-loop poles of `closed_loop` (its denominator roots).
+StabilityReport analyze_stability(const TransferFunction& closed_loop,
+                                  double margin = 1e-9);
+
+/// PID gains as used by the paper (Kp, Ki, Kd) = (0.4, 0.4, 0.3).
+struct PidGains {
+  double kp = 0.4;
+  double ki = 0.4;
+  double kd = 0.3;
+};
+
+/// Builds the paper's closed loop Y(z) = PC/(1+PC) for plant a/(z-1).
+TransferFunction cpm_closed_loop(double plant_gain, const PidGains& gains);
+
+/// Report of the characteristic polynomial z(z-1)^2 + a[(Kp+Ki+Kd)z^2 -
+/// (Kp+2Kd)z + Kd] analysis for the CPM loop.
+StabilityReport analyze_cpm_loop(double plant_gain, const PidGains& gains);
+
+/// Binary-searches the largest g in (0, g_search_max] such that the CPM loop
+/// with plant gain g*a stays stable for all g' in (0, g]. Returns 0 if even
+/// tiny gains are unstable.
+double stable_gain_upper_bound(double nominal_plant_gain, const PidGains& gains,
+                               double g_search_max = 16.0,
+                               double tolerance = 1e-4);
+
+}  // namespace cpm::control

@@ -1,0 +1,79 @@
+#include "control/state_space.h"
+
+#include <stdexcept>
+
+namespace cpm::control {
+
+StateSpace StateSpace::from_transfer_function(const TransferFunction& h) {
+  const std::size_t n = h.denominator().degree();
+  if (h.numerator().degree() > n) {
+    throw std::invalid_argument("StateSpace: improper transfer function");
+  }
+  // Normalize to a monic denominator.
+  const double lead = h.denominator().leading_coeff();
+  std::vector<double> den(n + 1), num(n + 1, 0.0);
+  for (std::size_t i = 0; i <= n; ++i) {
+    den[i] = h.denominator().coeff(i) / lead;
+    num[i] = h.numerator().coeff(i) / lead;
+  }
+
+  const double d = num[n];  // direct feed-through
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  std::vector<double> b(n, 0.0), c(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) a[i][i + 1] = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[n - 1][i] = -den[i];
+    c[i] = num[i] - d * den[i];
+  }
+  if (n > 0) b[n - 1] = 1.0;
+  return StateSpace(std::move(a), std::move(b), std::move(c), d);
+}
+
+StateSpace::StateSpace(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double> c, double d)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), d_(d) {
+  const std::size_t n = a_.size();
+  if (b_.size() != n || c_.size() != n) {
+    throw std::invalid_argument("StateSpace: dimension mismatch");
+  }
+  for (const auto& row : a_) {
+    if (row.size() != n) {
+      throw std::invalid_argument("StateSpace: A must be square");
+    }
+  }
+}
+
+double StateSpace::step(double u, std::vector<double>& state) const {
+  const std::size_t n = order();
+  if (state.size() != n) {
+    throw std::invalid_argument("StateSpace::step: state size mismatch");
+  }
+  double y = d_ * u;
+  for (std::size_t i = 0; i < n; ++i) y += c_[i] * state[i];
+  std::vector<double> next(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b_[i] * u;
+    for (std::size_t j = 0; j < n; ++j) acc += a_[i][j] * state[j];
+    next[i] = acc;
+  }
+  state = std::move(next);
+  return y;
+}
+
+std::vector<double> StateSpace::simulate(const std::vector<double>& input) const {
+  std::vector<double> state(order(), 0.0);
+  std::vector<double> output;
+  output.reserve(input.size());
+  for (const double u : input) output.push_back(step(u, state));
+  return output;
+}
+
+Polynomial StateSpace::characteristic_polynomial() const {
+  const std::size_t n = order();
+  std::vector<double> coeffs(n + 1, 0.0);
+  coeffs[n] = 1.0;
+  for (std::size_t i = 0; i < n; ++i) coeffs[i] = -a_[n - 1][i];
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace cpm::control

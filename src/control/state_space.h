@@ -1,0 +1,46 @@
+// Discrete-time SISO state-space realization: x[t+1] = A x + B u,
+// y = C x + D u, built from a transfer function in controllable canonical
+// form. Used as an independent cross-check of the transfer-function
+// simulation and as a building block for observer-based extensions.
+#pragma once
+
+#include <vector>
+
+#include "control/transfer_function.h"
+
+namespace cpm::control {
+
+class StateSpace {
+ public:
+  /// Controllable canonical realization of a proper transfer function
+  /// (deg(num) <= deg(den)). Throws for improper systems.
+  static StateSpace from_transfer_function(const TransferFunction& h);
+
+  StateSpace(std::vector<std::vector<double>> a, std::vector<double> b,
+             std::vector<double> c, double d);
+
+  std::size_t order() const noexcept { return a_.size(); }
+  const std::vector<std::vector<double>>& a() const noexcept { return a_; }
+  const std::vector<double>& b() const noexcept { return b_; }
+  const std::vector<double>& c() const noexcept { return c_; }
+  double d() const noexcept { return d_; }
+
+  /// Simulates the response to `input` from zero initial state.
+  std::vector<double> simulate(const std::vector<double>& input) const;
+
+  /// One step: consumes u, returns y, and advances the internal state of
+  /// the given state vector (size == order()).
+  double step(double u, std::vector<double>& state) const;
+
+  /// Characteristic polynomial det(zI - A) -- for the canonical form this
+  /// is the original denominator (monic).
+  Polynomial characteristic_polynomial() const;
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  double d_;
+};
+
+}  // namespace cpm::control

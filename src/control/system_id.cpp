@@ -1,0 +1,55 @@
+#include "control/system_id.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::control {
+
+GainEstimate estimate_plant_gain(std::span<const double> freq_deltas,
+                                 std::span<const double> power_deltas) {
+  GainEstimate est;
+  const std::size_t n = std::min(freq_deltas.size(), power_deltas.size());
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += freq_deltas[i] * freq_deltas[i];
+    sxy += freq_deltas[i] * power_deltas[i];
+    syy += power_deltas[i] * power_deltas[i];
+  }
+  est.samples = n;
+  if (sxx <= 0.0) return est;
+  est.gain = sxy / sxx;
+  if (syy > 0.0) {
+    // R^2 for the zero-intercept model: 1 - SSE/SST about zero.
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double resid = power_deltas[i] - est.gain * freq_deltas[i];
+      sse += resid * resid;
+    }
+    est.r_squared = std::max(0.0, 1.0 - sse / syy);
+  }
+  return est;
+}
+
+RecursiveGainEstimator::RecursiveGainEstimator(double initial_gain,
+                                               double forgetting) noexcept
+    : gain_(initial_gain), forgetting_(std::clamp(forgetting, 1e-3, 1.0)) {}
+
+double RecursiveGainEstimator::update(double freq_delta,
+                                      double power_delta) noexcept {
+  ++samples_;
+  const double x = freq_delta;
+  const double denom = forgetting_ + x * covariance_ * x;
+  if (denom <= 0.0 || x == 0.0) return gain_;  // no information in this sample
+  const double k = covariance_ * x / denom;
+  gain_ += k * (power_delta - gain_ * x);
+  covariance_ = (covariance_ - k * x * covariance_) / forgetting_;
+  return gain_;
+}
+
+void RecursiveGainEstimator::reset(double initial_gain) noexcept {
+  gain_ = initial_gain;
+  covariance_ = 1e3;
+  samples_ = 0;
+}
+
+}  // namespace cpm::control

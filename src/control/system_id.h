@@ -1,0 +1,48 @@
+// System identification for the PIC plant model (paper Eq. 8):
+//   P(t+1) = P(t) + a_i * d(t),  d(t) = f(t+1) - f(t)
+// The paper derives a_i by running PARSEC workloads with white-noise DVFS and
+// least-squares fitting dP against df (Fig. 5). This module implements both
+// the batch fit and an online recursive-least-squares variant used by the
+// adaptive transducer extension.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cpm::control {
+
+struct GainEstimate {
+  /// Estimated a_i (zero-intercept least squares of dP on df).
+  double gain = 0.0;
+  /// Coefficient of determination of the fit.
+  double r_squared = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Batch zero-intercept least squares: gain = sum(df*dP)/sum(df^2).
+/// Requires equally sized spans; pairs with df == 0 contribute nothing.
+GainEstimate estimate_plant_gain(std::span<const double> freq_deltas,
+                                 std::span<const double> power_deltas);
+
+/// Online RLS estimator with exponential forgetting for a scalar gain.
+class RecursiveGainEstimator {
+ public:
+  /// forgetting in (0, 1]; 1 = ordinary RLS, <1 tracks drifting gains.
+  explicit RecursiveGainEstimator(double initial_gain = 0.0,
+                                  double forgetting = 0.98) noexcept;
+
+  /// Consumes one (df, dP) observation; returns the updated gain.
+  double update(double freq_delta, double power_delta) noexcept;
+
+  double gain() const noexcept { return gain_; }
+  std::size_t samples() const noexcept { return samples_; }
+  void reset(double initial_gain = 0.0) noexcept;
+
+ private:
+  double gain_;
+  double covariance_ = 1e3;  // large prior: trust data quickly
+  double forgetting_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace cpm::control

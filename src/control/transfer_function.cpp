@@ -1,0 +1,123 @@
+#include "control/transfer_function.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "control/roots.h"
+
+namespace cpm::control {
+
+TransferFunction::TransferFunction(Polynomial numerator, Polynomial denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  if (den_.is_zero()) {
+    throw std::invalid_argument("TransferFunction: zero denominator");
+  }
+}
+
+TransferFunction TransferFunction::integrator_plant(double gain) {
+  return TransferFunction(Polynomial{gain}, Polynomial{-1.0, 1.0});
+}
+
+TransferFunction TransferFunction::pid(double kp, double ki, double kd) {
+  // C(z) = Kp + Ki z/(z-1) + Kd (z-1)/z over common denominator z(z-1):
+  //       [Kp z(z-1) + Ki z^2 + Kd (z-1)^2] / [z(z-1)]
+  // Built in reduced form: degenerate gain combinations (P, PI, PD) would
+  // otherwise carry exact pole/zero cancellations at z=0 / z=1 that show up
+  // as spurious poles in the stability analysis.
+  const Polynomial z{0.0, 1.0};
+  const Polynomial z_minus_1{-1.0, 1.0};
+  if (ki == 0.0 && kd == 0.0) {
+    return TransferFunction(Polynomial{kp}, Polynomial{1.0});
+  }
+  if (kd == 0.0) {  // PI: [Kp(z-1) + Ki z] / (z-1)
+    return TransferFunction(Polynomial{kp} * z_minus_1 + Polynomial{ki} * z,
+                            z_minus_1);
+  }
+  if (ki == 0.0) {  // PD: [Kp z + Kd (z-1)] / z
+    return TransferFunction(Polynomial{kp} * z + Polynomial{kd} * z_minus_1,
+                            z);
+  }
+  const Polynomial num = Polynomial{kp} * z * z_minus_1 +
+                         Polynomial{ki} * z * z +
+                         Polynomial{kd} * z_minus_1 * z_minus_1;
+  return TransferFunction(num, z * z_minus_1);
+}
+
+TransferFunction TransferFunction::series(const TransferFunction& other) const {
+  return TransferFunction(num_ * other.num_, den_ * other.den_);
+}
+
+TransferFunction TransferFunction::parallel(const TransferFunction& other) const {
+  return TransferFunction(num_ * other.den_ + other.num_ * den_,
+                          den_ * other.den_);
+}
+
+TransferFunction TransferFunction::closed_loop_unity_feedback() const {
+  // H/(1+H) = num / (den + num).
+  return TransferFunction(num_, den_ + num_);
+}
+
+TransferFunction TransferFunction::closed_loop_sensitivity() const {
+  // 1/(1+H) = den / (den + num).
+  return TransferFunction(den_, den_ + num_);
+}
+
+std::vector<std::complex<double>> TransferFunction::poles() const {
+  return find_roots(den_);
+}
+
+std::vector<std::complex<double>> TransferFunction::zeros() const {
+  return find_roots(num_);
+}
+
+std::complex<double> TransferFunction::evaluate(std::complex<double> z) const {
+  return num_.evaluate(z) / den_.evaluate(z);
+}
+
+double TransferFunction::dc_gain() const {
+  const double den_at_1 = den_.evaluate(1.0);
+  const double num_at_1 = num_.evaluate(1.0);
+  if (den_at_1 == 0.0) {
+    if (num_at_1 == 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return std::copysign(std::numeric_limits<double>::infinity(),
+                         num_at_1);
+  }
+  return num_at_1 / den_at_1;
+}
+
+std::vector<double> TransferFunction::simulate(
+    const std::vector<double>& input) const {
+  const std::size_t n = den_.degree();
+  const std::size_t m = num_.degree();
+  if (m > n) {
+    throw std::invalid_argument("TransferFunction::simulate: non-causal (deg num > deg den)");
+  }
+  const double an = den_.coeff(n);
+  std::vector<double> output(input.size(), 0.0);
+  for (std::size_t t = 0; t < input.size(); ++t) {
+    double acc = 0.0;
+    // sum_k b_k u[t - n + k]
+    for (std::size_t k = 0; k <= m; ++k) {
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(n) +
+          static_cast<std::ptrdiff_t>(k);
+      if (idx >= 0) acc += num_.coeff(k) * input[static_cast<std::size_t>(idx)];
+    }
+    // - sum_{k<n} a_k y[t - n + k]
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(t) - static_cast<std::ptrdiff_t>(n) +
+          static_cast<std::ptrdiff_t>(k);
+      if (idx >= 0) acc -= den_.coeff(k) * output[static_cast<std::size_t>(idx)];
+    }
+    output[t] = acc / an;
+  }
+  return output;
+}
+
+std::vector<double> TransferFunction::step_response(std::size_t steps) const {
+  return simulate(std::vector<double>(steps, 1.0));
+}
+
+}  // namespace cpm::control

@@ -1,0 +1,62 @@
+// Discrete-time (z-domain) transfer functions and the closed-loop algebra of
+// paper Eqs. 9-13:
+//   plant      P(z) = a / (z - 1)                    (Eq. 9)
+//   PID        C(z) = Kp + Ki z/(z-1) + Kd (z-1)/z   (Eq. 10)
+//   closed     Y(z) = P C / (1 + P C)                (Eq. 11)
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/polynomial.h"
+
+namespace cpm::control {
+
+class TransferFunction {
+ public:
+  /// H(z) = numerator / denominator. The denominator must be nonzero.
+  TransferFunction(Polynomial numerator, Polynomial denominator);
+
+  /// The paper's island power plant P(z) = gain / (z - 1).
+  static TransferFunction integrator_plant(double gain);
+
+  /// The paper's PID controller C(z) = Kp + Ki z/(z-1) + Kd (z-1)/z, as a
+  /// single rational function over z(z-1).
+  static TransferFunction pid(double kp, double ki, double kd);
+
+  const Polynomial& numerator() const noexcept { return num_; }
+  const Polynomial& denominator() const noexcept { return den_; }
+
+  /// Series connection: this * other.
+  TransferFunction series(const TransferFunction& other) const;
+  /// Parallel connection: this + other.
+  TransferFunction parallel(const TransferFunction& other) const;
+  /// Unity negative feedback around this open loop: H / (1 + H)
+  /// (the complementary sensitivity T: reference -> output).
+  TransferFunction closed_loop_unity_feedback() const;
+
+  /// Sensitivity S = 1 / (1 + H) of the same loop: the transfer from an
+  /// output disturbance (a workload-driven power shift, in the CPM loop) to
+  /// the output. S + T = 1; with integral action S(1) = 0, i.e. constant
+  /// disturbances are rejected completely.
+  TransferFunction closed_loop_sensitivity() const;
+
+  std::vector<std::complex<double>> poles() const;
+  std::vector<std::complex<double>> zeros() const;
+
+  std::complex<double> evaluate(std::complex<double> z) const;
+  /// DC gain H(1); infinite poles at z=1 surface as +/-inf.
+  double dc_gain() const;
+
+  /// Simulates the difference equation y against input u for u.size() steps,
+  /// zero initial conditions. Requires deg(num) <= deg(den) (causality).
+  std::vector<double> simulate(const std::vector<double>& input) const;
+  /// Unit step response of the given length.
+  std::vector<double> step_response(std::size_t steps) const;
+
+ private:
+  Polynomial num_;
+  Polynomial den_;
+};
+
+}  // namespace cpm::control

@@ -1,0 +1,71 @@
+#include "control/tuning.h"
+
+#include <cmath>
+
+namespace cpm::control {
+
+std::optional<PidDesign> evaluate_design(double plant_gain,
+                                         const PidGains& gains,
+                                         const DesignSpec& spec) {
+  const TransferFunction cl = cpm_closed_loop(plant_gain, gains);
+  if (!analyze_stability(cl).stable) return std::nullopt;
+
+  PidDesign design;
+  design.gains = gains;
+  const std::vector<double> y = cl.step_response(spec.horizon);
+
+  StepMetricsOptions opt;
+  opt.settling_band = spec.settling_band;
+  design.metrics = step_metrics(y, /*reference=*/1.0, /*initial=*/0.0, opt);
+
+  design.gain_margin = stable_gain_upper_bound(plant_gain, gains);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    design.itae += static_cast<double>(t + 1) * std::abs(y[t] - 1.0);
+  }
+  return design;
+}
+
+namespace {
+
+bool meets_spec(const PidDesign& design, const DesignSpec& spec) {
+  return design.metrics.settled &&
+         design.metrics.max_overshoot <= spec.max_overshoot &&
+         design.metrics.settling_time <= spec.max_settling_time &&
+         design.metrics.steady_state_error <= spec.max_steady_state_error &&
+         design.gain_margin >= spec.min_gain_margin;
+}
+
+}  // namespace
+
+std::optional<PidDesign> design_pid(double plant_gain, const DesignSpec& spec) {
+  std::optional<PidDesign> best;
+  auto consider = [&](double kp, double ki, double kd) {
+    if (kp < 0.0 || ki <= 0.0 || kd < 0.0) return;  // Ki>0: no ss error
+    const auto design = evaluate_design(plant_gain, {kp, ki, kd}, spec);
+    if (!design || !meets_spec(*design, spec)) return;
+    if (!best || design->itae < best->itae) best = design;
+  };
+
+  // Coarse grid over the plausible box.
+  for (double kp = 0.1; kp <= 1.61; kp += 0.15) {
+    for (double ki = 0.05; ki <= 1.21; ki += 0.15) {
+      for (double kd = 0.0; kd <= 0.91; kd += 0.15) {
+        consider(kp, ki, kd);
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+
+  // Fine pattern search around the coarse winner.
+  const PidGains center = best->gains;
+  for (double dkp = -0.12; dkp <= 0.121; dkp += 0.04) {
+    for (double dki = -0.12; dki <= 0.121; dki += 0.04) {
+      for (double dkd = -0.12; dkd <= 0.121; dkd += 0.04) {
+        consider(center.kp + dkp, center.ki + dki, center.kd + dkd);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cpm::control

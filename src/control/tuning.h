@@ -1,0 +1,53 @@
+// Automated PID design for the CPM island plant: given an identified plant
+// gain and design specifications (maximum overshoot, settling time,
+// steady-state error -- the three metrics the paper designs for, Sec. II-A),
+// search the gain space for the best stable design. This automates the
+// "formal methodologies like Bode plots, root locus analysis or ...
+// stability criterion" step the paper performs in Matlab.
+#pragma once
+
+#include <optional>
+
+#include "control/response.h"
+#include "control/stability.h"
+
+namespace cpm::control {
+
+struct DesignSpec {
+  /// Maximum tolerated step-response overshoot (fraction of the step).
+  double max_overshoot = 0.45;
+  /// Maximum settling time in controller invocations (2 % band... see
+  /// settling_band).
+  std::size_t max_settling_time = 20;
+  double settling_band = 0.05;
+  /// Maximum steady-state error (fraction of the step).
+  double max_steady_state_error = 0.02;
+  /// Required gain-robustness: the design must stay stable for plant-gain
+  /// mismatch up to this factor (paper's g-range requirement).
+  double min_gain_margin = 1.5;
+  /// Step-response horizon used for evaluation.
+  std::size_t horizon = 60;
+};
+
+struct PidDesign {
+  PidGains gains;
+  StepResponseMetrics metrics;
+  double gain_margin = 0.0;
+  /// Integral of time-weighted absolute error of the unit step response
+  /// (lower = better tracking).
+  double itae = 0.0;
+};
+
+/// Evaluates one candidate design against the plant; returns std::nullopt if
+/// the closed loop is unstable.
+std::optional<PidDesign> evaluate_design(double plant_gain,
+                                         const PidGains& gains,
+                                         const DesignSpec& spec = {});
+
+/// Coarse-to-fine search over (Kp, Ki, Kd) for the lowest-ITAE design that
+/// meets every requirement of `spec`. Returns std::nullopt when no candidate
+/// in the searched box satisfies the spec.
+std::optional<PidDesign> design_pid(double plant_gain,
+                                    const DesignSpec& spec = {});
+
+}  // namespace cpm::control

@@ -1,0 +1,42 @@
+#include "core/energy_policy.h"
+
+#include <algorithm>
+
+namespace cpm::core {
+
+EnergyAwarePolicy::EnergyAwarePolicy(const EnergyPolicyConfig& config)
+    : config_(config),
+      inner_(config.perf),
+      reference_bips_(config.reference_bips) {}
+
+void EnergyAwarePolicy::reset() {
+  inner_.reset();
+  total_fraction_ = 1.0;
+  reference_bips_ = config_.reference_bips;
+}
+
+std::vector<double> EnergyAwarePolicy::provision(
+    double budget_w, std::span<const IslandObservation> observations,
+    std::span<const double> previous_alloc_w) {
+  double chip_bips = 0.0;
+  for (const auto& obs : observations) chip_bips += obs.bips;
+
+  if (reference_bips_ <= 0.0) {
+    // Latch the first interval's throughput as the reference: at run start
+    // the chip is provisioned the full budget, so this approximates the
+    // budget-unconstrained throughput.
+    reference_bips_ = chip_bips;
+  } else if (chip_bips < config_.min_perf_fraction * reference_bips_) {
+    // Guarantee violated: give power back.
+    total_fraction_ = std::min(1.0, total_fraction_ * (1.0 + config_.adjust_step));
+  } else {
+    // Guarantee holds: trim provisioned power to save energy.
+    total_fraction_ = std::max(config_.min_total_fraction,
+                               total_fraction_ * (1.0 - config_.adjust_step));
+  }
+
+  return inner_.provision(total_fraction_ * budget_w, observations,
+                          previous_alloc_w);
+}
+
+}  // namespace cpm::core

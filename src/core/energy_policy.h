@@ -1,0 +1,57 @@
+// Energy-aware power provisioning with a minimum performance guarantee --
+// the policy class the paper lists as feasible but does not evaluate
+// ("power provisioning for reducing energy consumption by providing a
+// minimum guarantee on the performance", Sec. II-C).
+//
+// Mechanism: the policy trims the *total* provisioned power below the chip
+// budget as long as measured chip throughput stays above
+// `min_perf_fraction` of a reference BIPS (the chip's unmanaged throughput,
+// taken from calibration); when throughput dips under the guarantee, the
+// provisioned total grows back toward the budget. Distribution across
+// islands is delegated to the performance-aware policy, so the trimmed
+// power is always taken where it hurts throughput least.
+#pragma once
+
+#include <memory>
+
+#include "core/perf_policy.h"
+#include "core/policy.h"
+
+namespace cpm::core {
+
+struct EnergyPolicyConfig {
+  /// Throughput guarantee as a fraction of the reference BIPS.
+  double min_perf_fraction = 0.95;
+  /// Reference chip BIPS (0 = latch the first observed interval).
+  double reference_bips = 0.0;
+  /// Relative step by which the provisioned total shrinks/grows per GPM
+  /// invocation.
+  double adjust_step = 0.05;
+  /// Floor on the provisioned total, as a fraction of the budget.
+  double min_total_fraction = 0.2;
+  PerfPolicyConfig perf{};
+};
+
+class EnergyAwarePolicy final : public ProvisioningPolicy {
+ public:
+  explicit EnergyAwarePolicy(const EnergyPolicyConfig& config = {});
+
+  std::vector<double> provision(
+      double budget_w, std::span<const IslandObservation> observations,
+      std::span<const double> previous_alloc_w) override;
+
+  std::string_view name() const override { return "energy-aware"; }
+  void reset() override;
+
+  /// Currently provisioned total as a fraction of the budget.
+  double total_fraction() const noexcept { return total_fraction_; }
+  double reference_bips() const noexcept { return reference_bips_; }
+
+ private:
+  EnergyPolicyConfig config_;
+  PerformanceAwarePolicy inner_;
+  double total_fraction_ = 1.0;
+  double reference_bips_ = 0.0;
+};
+
+}  // namespace cpm::core

@@ -1,0 +1,133 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "util/parallel.h"
+#include "workload/mixes.h"
+
+namespace cpm::core {
+
+SimulationConfig default_config(double budget_fraction, std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.cmp = sim::CmpConfig::default_8core();
+  cfg.mix = workload::mix1();
+  cfg.budget_fraction = budget_fraction;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimulationConfig with_manager(SimulationConfig config, ManagerKind manager) {
+  config.manager = manager;
+  return config;
+}
+
+SimulationConfig with_policy(SimulationConfig config, PolicyKind policy) {
+  config.policy = policy;
+  return config;
+}
+
+SimulationConfig scaled_config(std::size_t total_cores, double budget_fraction,
+                               std::uint64_t seed) {
+  SimulationConfig cfg;
+  switch (total_cores) {
+    case 8:
+      return default_config(budget_fraction, seed);
+    case 16:
+      cfg.cmp = sim::CmpConfig::scale_16core();
+      cfg.mix = workload::mix3(1);
+      break;
+    case 32:
+      cfg.cmp = sim::CmpConfig::scale_32core();
+      cfg.mix = workload::mix3(2);
+      break;
+    case 64:
+      cfg.cmp = sim::CmpConfig::scale_64core();
+      cfg.mix = workload::mix3(4);
+      break;
+    default:
+      throw std::invalid_argument(
+          "scaled_config: supported sizes are 8/16/32/64");
+  }
+  cfg.budget_fraction = budget_fraction;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimulationConfig island_size_config(std::size_t cores_per_island,
+                                    double budget_fraction,
+                                    std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.cmp = sim::CmpConfig::default_8core();
+  cfg.cmp.num_islands = 8 / cores_per_island;
+  cfg.cmp.cores_per_island = cores_per_island;
+  cfg.mix = workload::mix1_regrouped(cores_per_island);
+  cfg.budget_fraction = budget_fraction;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimulationConfig thermal_config(PolicyKind policy, double budget_fraction,
+                                std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.cmp = sim::CmpConfig::thermal_8x1();
+  cfg.mix = workload::thermal_mix();
+  cfg.policy = policy;
+  cfg.budget_fraction = budget_fraction;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimulationConfig variation_config(PolicyKind policy, double budget_fraction,
+                                  std::uint64_t seed) {
+  SimulationConfig cfg = default_config(budget_fraction, seed);
+  cfg.policy = policy;
+  // Paper Sec. IV-B: islands 1..3 leak at 1.2x/1.5x/2.0x of island 4.
+  cfg.island_leak_mults = {1.2, 1.5, 2.0, 1.0};
+  return cfg;
+}
+
+ManagedVsBaseline run_with_baseline(const SimulationConfig& config,
+                                    double duration_s) {
+  ManagedVsBaseline out;
+  Simulation managed(config);
+  out.managed = managed.run(duration_s);
+
+  SimulationConfig base_cfg = config;
+  base_cfg.manager = ManagerKind::kNoDvfs;
+  Simulation baseline(base_cfg);
+  out.baseline = baseline.run(duration_s);
+
+  out.degradation = performance_degradation(out.managed, out.baseline);
+  return out;
+}
+
+std::vector<BudgetSweepPoint> budget_sweep(
+    const SimulationConfig& base, const std::vector<double>& budget_fractions,
+    double duration_s) {
+  // The NoDVFS reference is budget independent: run it once.
+  SimulationConfig base_cfg = base;
+  base_cfg.manager = ManagerKind::kNoDvfs;
+  Simulation baseline_sim(base_cfg);
+  const SimulationResult baseline = baseline_sim.run(duration_s);
+
+  // Sweep points are independent, seeded simulations: fan out across
+  // hardware threads. Results are index-ordered, so the sweep's output is
+  // identical to a serial run.
+  return util::parallel_map<BudgetSweepPoint>(
+      budget_fractions.size(), [&](std::size_t i) {
+        SimulationConfig cfg = base;
+        cfg.budget_fraction = budget_fractions[i];
+        Simulation sim(cfg);
+        const SimulationResult res = sim.run(duration_s);
+        const ChipTrackingMetrics chip = chip_tracking_metrics(res.gpm_records);
+
+        BudgetSweepPoint p;
+        p.budget_fraction = budget_fractions[i];
+        p.avg_power_fraction = res.avg_chip_power_w / res.max_chip_power_w;
+        p.max_overshoot = chip.max_overshoot;
+        p.degradation = performance_degradation(res, baseline);
+        return p;
+      });
+}
+
+}  // namespace cpm::core

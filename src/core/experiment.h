@@ -1,0 +1,67 @@
+// Canned experiment configurations shared by the benchmark harness, tests
+// and examples, so every figure is regenerated from the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/simulation.h"
+
+namespace cpm::core {
+
+/// Default 8-core / Mix-1 CPM configuration (the paper's baseline setup).
+SimulationConfig default_config(double budget_fraction = 0.8,
+                                std::uint64_t seed = 42);
+
+/// Same chip, different manager/policy.
+SimulationConfig with_manager(SimulationConfig config, ManagerKind manager);
+SimulationConfig with_policy(SimulationConfig config, PolicyKind policy);
+
+/// Scaling configurations (Fig. 15): 16-core and 32-core Mix-3 chips.
+SimulationConfig scaled_config(std::size_t total_cores,
+                               double budget_fraction = 0.8,
+                               std::uint64_t seed = 42);
+
+/// Island-size study configuration (Fig. 13): the 8 Mix-1 applications
+/// regrouped into islands of 1, 2 or 4 cores.
+SimulationConfig island_size_config(std::size_t cores_per_island,
+                                    double budget_fraction = 0.8,
+                                    std::uint64_t seed = 42);
+
+/// Thermal-study configuration (Fig. 18): 8 islands x 1 CPU-bound core.
+SimulationConfig thermal_config(PolicyKind policy,
+                                double budget_fraction = 0.8,
+                                std::uint64_t seed = 42);
+
+/// Variation-study configuration (Sec. IV-B): Mix-1 with island leakage
+/// multipliers {1.2, 1.5, 2.0, 1.0}.
+SimulationConfig variation_config(PolicyKind policy,
+                                  double budget_fraction = 0.8,
+                                  std::uint64_t seed = 42);
+
+/// Runs `config` plus its NoDVFS twin (same seed) and returns both results.
+struct ManagedVsBaseline {
+  SimulationResult managed;
+  SimulationResult baseline;
+  double degradation = 0.0;  // 1 - instr_managed/instr_baseline
+};
+ManagedVsBaseline run_with_baseline(const SimulationConfig& config,
+                                    double duration_s);
+
+/// One point of a budget sweep (Figs. 11, 12, 15).
+struct BudgetSweepPoint {
+  double budget_fraction = 0.0;
+  double avg_power_fraction = 0.0;  // avg chip power / max chip power
+  double max_overshoot = 0.0;       // vs budget
+  double degradation = 0.0;         // vs NoDVFS
+};
+
+std::vector<BudgetSweepPoint> budget_sweep(
+    const SimulationConfig& base, const std::vector<double>& budget_fractions,
+    double duration_s);
+
+/// Default experiment duration: 50 GPM intervals at the paper's cadence.
+constexpr double kDefaultDurationS = 0.25;
+
+}  // namespace cpm::core

@@ -1,0 +1,58 @@
+#include "core/gpm.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace cpm::core {
+
+Gpm::Gpm(std::unique_ptr<ProvisioningPolicy> policy, double budget_w,
+         std::size_t num_islands)
+    : policy_(std::move(policy)), budget_w_(budget_w) {
+  if (!policy_) throw std::invalid_argument("Gpm: null policy");
+  if (num_islands == 0) throw std::invalid_argument("Gpm: no islands");
+  if (budget_w_ <= 0.0) throw std::invalid_argument("Gpm: budget must be > 0");
+  allocation_.assign(num_islands, budget_w_ / static_cast<double>(num_islands));
+}
+
+void Gpm::set_budget_w(double watts) {
+  if (watts <= 0.0) throw std::invalid_argument("Gpm: budget must be > 0");
+  budget_w_ = watts;
+}
+
+std::vector<double> Gpm::invoke(
+    std::span<const IslandObservation> observations) {
+  if (observations.size() != allocation_.size()) {
+    throw std::invalid_argument("Gpm::invoke: observation count mismatch");
+  }
+  std::vector<double> next =
+      policy_->provision(budget_w_, observations, allocation_);
+  if (next.size() != allocation_.size()) {
+    throw std::logic_error("Gpm: policy returned wrong allocation size");
+  }
+  // Budget invariant: clamp negatives, rescale if the policy oversubscribed.
+  double total = 0.0;
+  for (auto& a : next) {
+    if (a < 0.0) a = 0.0;
+    total += a;
+  }
+  if (total > budget_w_ * (1.0 + 1e-9)) {
+    util::log_debug() << "Gpm: policy oversubscribed (" << total << " W > "
+                      << budget_w_ << " W); rescaling";
+    const double scale = budget_w_ / total;
+    for (auto& a : next) a *= scale;
+  }
+  allocation_ = std::move(next);
+  ++invocations_;
+  return allocation_;
+}
+
+void Gpm::reset() {
+  const std::size_t n = allocation_.size();
+  allocation_.assign(n, budget_w_ / static_cast<double>(n));
+  invocations_ = 0;
+  policy_->reset();
+}
+
+}  // namespace cpm::core

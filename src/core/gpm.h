@@ -1,0 +1,44 @@
+// GPM: the Global Power Manager (paper Sec. II-C). Invoked every T_global; it
+// delegates the split of the chip budget to a ProvisioningPolicy, enforces
+// the budget invariant, and hands per-island setpoints to the PICs. The GPM
+// never touches DVFS knobs itself: the decoupling is the architecture's core
+// flexibility claim.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/types.h"
+
+namespace cpm::core {
+
+class Gpm {
+ public:
+  Gpm(std::unique_ptr<ProvisioningPolicy> policy, double budget_w,
+      std::size_t num_islands);
+
+  /// One GPM invocation: returns the new per-island power setpoints (watts).
+  /// The returned allocation always sums to at most the budget (within
+  /// floating-point tolerance) -- enforced here even for buggy policies.
+  std::vector<double> invoke(std::span<const IslandObservation> observations);
+
+  double budget_w() const noexcept { return budget_w_; }
+  void set_budget_w(double watts);
+
+  const std::vector<double>& current_allocation() const noexcept {
+    return allocation_;
+  }
+  ProvisioningPolicy& policy() noexcept { return *policy_; }
+
+  void reset();
+
+ private:
+  std::unique_ptr<ProvisioningPolicy> policy_;
+  double budget_w_;
+  std::vector<double> allocation_;
+  std::size_t invocations_ = 0;
+};
+
+}  // namespace cpm::core

@@ -1,0 +1,114 @@
+#include "core/maxbips.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cpm::core {
+
+MaxBipsManager::MaxBipsManager(const MaxBipsConfig& config, double budget_w)
+    : config_(config), budget_w_(budget_w) {
+  if (budget_w_ <= 0.0) {
+    throw std::invalid_argument("MaxBipsManager: budget must be > 0");
+  }
+  if (config_.power_bins < 8) {
+    throw std::invalid_argument("MaxBipsManager: too few power bins");
+  }
+}
+
+double MaxBipsManager::predict_bips(const IslandObservation& obs,
+                                    const sim::DvfsTable& dvfs,
+                                    std::size_t level) {
+  const auto& cur = dvfs.level(std::min(obs.dvfs_level, dvfs.max_level()));
+  const auto& tgt = dvfs.level(level);
+  // MaxBIPS's optimistic model: performance scales linearly with frequency.
+  return obs.bips * tgt.freq_ghz / cur.freq_ghz;
+}
+
+double MaxBipsManager::predict_power_w(const IslandObservation& obs,
+                                       const sim::DvfsTable& dvfs,
+                                       std::size_t level) {
+  const auto& cur = dvfs.level(std::min(obs.dvfs_level, dvfs.max_level()));
+  const auto& tgt = dvfs.level(level);
+  const double cur_fv2 = cur.dynamic_energy_scale();
+  const double tgt_fv2 = tgt.dynamic_energy_scale();
+  // Dynamic power scales with f V^2; the static (leakage) share, when the
+  // characterization provides it, only scales with V. Folding leakage into
+  // the f V^2 scaling would underestimate low-level power and let the
+  // open-loop scheme overshoot tight budgets.
+  const double leak = std::min(obs.leakage_w, obs.power_w);
+  const double dyn = obs.power_w - leak;
+  return dyn * tgt_fv2 / cur_fv2 + leak * tgt.voltage / cur.voltage;
+}
+
+std::vector<std::size_t> MaxBipsManager::choose_levels(
+    std::span<const IslandObservation> observations) const {
+  const std::size_t n = observations.size();
+  const std::size_t levels = config_.dvfs.num_levels();
+  const std::size_t bins = config_.power_bins;
+  if (n == 0) return {};
+
+  // Precompute per-island per-level (bips, power-bin cost). Costs are rounded
+  // *up* so the DP never underestimates power (the budget is a hard cap).
+  const double bin_w = budget_w_ / static_cast<double>(bins);
+  std::vector<std::vector<double>> bips(n, std::vector<double>(levels));
+  std::vector<std::vector<std::size_t>> cost(n,
+                                             std::vector<std::size_t>(levels));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      bips[i][l] = predict_bips(observations[i], config_.dvfs, l);
+      const double p = predict_power_w(observations[i], config_.dvfs, l);
+      cost[i][l] = static_cast<std::size_t>(std::ceil(p / bin_w - 1e-12));
+    }
+  }
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // dp[b] = best total BIPS for islands 0..i using exactly budget bins <= b
+  // (we track "total cost == b" and take the max at the end via running max).
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(bins + 1, kNegInf));
+  std::vector<std::vector<std::size_t>> choice(
+      n, std::vector<std::size_t>(bins + 1, 0));
+  dp[0][0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b <= bins; ++b) {
+      if (dp[i][b] == kNegInf) continue;
+      for (std::size_t l = 0; l < levels; ++l) {
+        const std::size_t nb = b + cost[i][l];
+        if (nb > bins) continue;
+        const double v = dp[i][b] + bips[i][l];
+        if (v > dp[i + 1][nb]) {
+          dp[i + 1][nb] = v;
+          choice[i][nb] = l;
+        }
+      }
+    }
+  }
+
+  // Best final bin; if nothing fits (pathological budget), fall back to the
+  // lowest level everywhere.
+  std::size_t best_bin = bins + 1;
+  double best = kNegInf;
+  for (std::size_t b = 0; b <= bins; ++b) {
+    if (dp[n][b] > best) {
+      best = dp[n][b];
+      best_bin = b;
+    }
+  }
+  std::vector<std::size_t> result(n, 0);
+  if (best_bin > bins) return result;
+
+  // Walk the DP backwards: `choice[i][b]` is the level island i took in the
+  // best chain landing on bin b (dp[i] is finalized before stage i's
+  // transitions run, so the chain is consistent).
+  std::size_t b = best_bin;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t picked = choice[i][b];
+    result[i] = picked;
+    b -= cost[i][picked];
+  }
+  return result;
+}
+
+}  // namespace cpm::core

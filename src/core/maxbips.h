@@ -1,0 +1,52 @@
+// MaxBIPS baseline (Isci et al., MICRO'06 [17]), as the paper implements it
+// for comparison: an open-loop global manager that, once per interval, picks
+// the per-island DVFS combination maximizing *predicted* total BIPS subject
+// to *predicted* total power <= budget, from a static prediction table
+// (BIPS scales ~f, power scales ~f V^2). No feedback: with discrete knobs the
+// chosen combination's power is below the set-point, which is why MaxBIPS
+// under-consumes the budget in Fig. 11.
+//
+// The combinatorial choice is solved exactly with a knapsack-style dynamic
+// program over discretized power, so it scales to the 8-island/32-core
+// configuration (8^8 exhaustive combinations would not).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/dvfs.h"
+
+namespace cpm::core {
+
+struct MaxBipsConfig {
+  sim::DvfsTable dvfs = sim::DvfsTable::pentium_m();
+  /// Power discretization bins for the DP (more bins = finer packing).
+  std::size_t power_bins = 1024;
+};
+
+class MaxBipsManager {
+ public:
+  MaxBipsManager(const MaxBipsConfig& config, double budget_w);
+
+  /// Chooses one DVFS level per island from the observations of the last
+  /// interval (each island's measured BIPS and power at its current level).
+  std::vector<std::size_t> choose_levels(
+      std::span<const IslandObservation> observations) const;
+
+  /// Prediction table entries (exposed for tests): BIPS and power an island
+  /// is predicted to produce at `level`, given its current observation.
+  static double predict_bips(const IslandObservation& obs,
+                             const sim::DvfsTable& dvfs, std::size_t level);
+  static double predict_power_w(const IslandObservation& obs,
+                                const sim::DvfsTable& dvfs, std::size_t level);
+
+  double budget_w() const noexcept { return budget_w_; }
+
+ private:
+  MaxBipsConfig config_;
+  double budget_w_;
+};
+
+}  // namespace cpm::core

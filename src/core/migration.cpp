@@ -1,0 +1,63 @@
+#include "core/migration.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cpm::core {
+
+MigrationAdvisor::MigrationAdvisor(const MigrationConfig& config)
+    : config_(config) {}
+
+double MigrationAdvisor::grouping_cost(std::span<const double> core_util,
+                                       std::size_t num_islands,
+                                       std::size_t cores_per_island) {
+  if (core_util.size() != num_islands * cores_per_island) {
+    throw std::invalid_argument("grouping_cost: size mismatch");
+  }
+  double cost = 0.0;
+  for (std::size_t i = 0; i < num_islands; ++i) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < cores_per_island; ++c) {
+      mean += core_util[i * cores_per_island + c];
+    }
+    mean /= static_cast<double>(cores_per_island);
+    for (std::size_t c = 0; c < cores_per_island; ++c) {
+      const double d = core_util[i * cores_per_island + c] - mean;
+      cost += d * d;
+    }
+  }
+  return cost;
+}
+
+std::optional<MigrationProposal> MigrationAdvisor::propose(
+    std::span<const double> core_util, std::size_t num_islands,
+    std::size_t cores_per_island) const {
+  if (cores_per_island < 2 || num_islands < 2) return std::nullopt;
+  const double base_cost =
+      grouping_cost(core_util, num_islands, cores_per_island);
+
+  std::vector<double> trial(core_util.begin(), core_util.end());
+  MigrationProposal best;
+  for (std::size_t ia = 0; ia < num_islands; ++ia) {
+    for (std::size_t ib = ia + 1; ib < num_islands; ++ib) {
+      for (std::size_t ca = 0; ca < cores_per_island; ++ca) {
+        for (std::size_t cb = 0; cb < cores_per_island; ++cb) {
+          const std::size_t ga = ia * cores_per_island + ca;
+          const std::size_t gb = ib * cores_per_island + cb;
+          std::swap(trial[ga], trial[gb]);
+          const double cost =
+              grouping_cost(trial, num_islands, cores_per_island);
+          std::swap(trial[ga], trial[gb]);
+          const double improvement = base_cost - cost;
+          if (improvement > best.improvement) {
+            best = {ia, ca, ib, cb, improvement};
+          }
+        }
+      }
+    }
+  }
+  if (best.improvement < config_.min_improvement) return std::nullopt;
+  return best;
+}
+
+}  // namespace cpm::core

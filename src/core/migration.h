@@ -1,0 +1,65 @@
+// Thread-migration advisor (extension motivated by the paper's Fig. 16):
+// the grouping of co-scheduled applications decides how much per-island DVFS
+// costs -- homogeneous islands (all CPU-bound or all memory-bound) degrade
+// less than mixed ones, because slowing an all-memory-bound island is nearly
+// free while every mixed island drags a CPU-bound thread down with it.
+//
+// The advisor watches per-core utilization (at a shared island frequency,
+// utilization separates CPU-bound from memory-bound threads) and proposes
+// cross-island swaps that reduce the within-island utilization spread,
+// migrating the chip toward a homogeneous grouping at runtime. One swap per
+// invocation, hysteresis via a minimum-improvement threshold, and each
+// migration charges a cache-warmup stall to both islands.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace cpm::core {
+
+struct MigrationProposal {
+  std::size_t island_a = 0;
+  std::size_t core_a = 0;  // index within island_a
+  std::size_t island_b = 0;
+  std::size_t core_b = 0;
+  /// Reduction in the total within-island utilization variance.
+  double improvement = 0.0;
+};
+
+struct MigrationConfig {
+  /// Minimum variance reduction to justify a swap (hysteresis against
+  /// noise-driven churn; a genuinely misplaced C/M pair improves the
+  /// objective by >= ~0.3).
+  double min_improvement = 0.02;
+  /// Pipeline-drain + cache-warmup stall charged to both islands, seconds.
+  double migration_stall_s = 1e-4;
+  /// GPM windows to wait after a migration before proposing another (lets
+  /// the utilization estimates resettle on the new grouping).
+  std::size_t cooldown_windows = 3;
+};
+
+class MigrationAdvisor {
+ public:
+  explicit MigrationAdvisor(const MigrationConfig& config = {});
+
+  /// Given mean utilization per core (island-major layout: island i owns
+  /// entries [i*k, (i+1)*k)), returns the single cross-island swap with the
+  /// largest variance reduction, or nullopt if nothing clears the threshold.
+  std::optional<MigrationProposal> propose(std::span<const double> core_util,
+                                           std::size_t num_islands,
+                                           std::size_t cores_per_island) const;
+
+  /// Total within-island utilization variance of a grouping (the objective
+  /// the advisor minimizes). Exposed for tests and diagnostics.
+  static double grouping_cost(std::span<const double> core_util,
+                              std::size_t num_islands,
+                              std::size_t cores_per_island);
+
+  const MigrationConfig& config() const noexcept { return config_; }
+
+ private:
+  MigrationConfig config_;
+};
+
+}  // namespace cpm::core

@@ -1,0 +1,228 @@
+#include "core/perf_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cpm::core {
+
+std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
+                                       double budget_w, double min_share,
+                                       double max_share) {
+  const std::size_t n = alloc_w.size();
+  if (n == 0 || budget_w <= 0.0) return alloc_w;
+  const double lo = min_share * budget_w;
+  const double hi = std::max(lo, max_share * budget_w);
+
+  // Iterative clamp-and-redistribute: clamped islands keep their bound; the
+  // remaining budget is split among the others in proportion to their raw
+  // allocation. Converges in at most n rounds.
+  std::vector<bool> fixed(n, false);
+  std::vector<double> out(alloc_w);
+  for (std::size_t round = 0; round < n; ++round) {
+    double fixed_total = 0.0;
+    double free_raw_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) {
+        fixed_total += out[i];
+      } else {
+        free_raw_total += std::max(0.0, alloc_w[i]);
+      }
+    }
+    const double free_budget = budget_w - fixed_total;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      const double share = free_raw_total > 0.0
+                               ? std::max(0.0, alloc_w[i]) / free_raw_total
+                               : 1.0 / static_cast<double>(n);
+      double v = share * free_budget;
+      if (v < lo) {
+        v = lo;
+        fixed[i] = true;
+        changed = true;
+      } else if (v > hi) {
+        v = hi;
+        fixed[i] = true;
+        changed = true;
+      }
+      out[i] = v;
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+std::vector<double> apply_share_bounds_capped(std::vector<double> alloc_w,
+                                              double budget_w,
+                                              double min_share,
+                                              double max_share) {
+  const std::size_t n = alloc_w.size();
+  if (n == 0 || budget_w <= 0.0) return alloc_w;
+  const double lo = min_share * budget_w;
+  const double hi = std::max(lo, max_share * budget_w);
+
+  // Floors: raise the starved, funded proportionally by above-floor islands.
+  double deficit = 0.0;
+  double above_floor = 0.0;
+  for (const double a : alloc_w) {
+    if (a < lo) {
+      deficit += lo - a;
+    } else {
+      above_floor += a - lo;
+    }
+  }
+  if (deficit > 0.0 && above_floor > 0.0) {
+    const double take = std::min(1.0, deficit / above_floor);
+    for (auto& a : alloc_w) {
+      a = a < lo ? lo : a - (a - lo) * take;
+    }
+  } else if (deficit > 0.0) {
+    for (auto& a : alloc_w) a = std::max(a, lo);  // grows the total: all starved
+  }
+
+  // Ceilings: cap and redistribute to islands with headroom (never growing
+  // the total beyond what came in).
+  for (int round = 0; round < 3; ++round) {
+    double excess = 0.0;
+    double headroom = 0.0;
+    for (const double a : alloc_w) {
+      if (a > hi) {
+        excess += a - hi;
+      } else {
+        headroom += hi - a;
+      }
+    }
+    if (excess <= 1e-12) break;
+    const double grant = std::min(excess, headroom);
+    for (auto& a : alloc_w) {
+      if (a > hi) {
+        a = hi;
+      } else if (headroom > 0.0) {
+        a += grant * (hi - a) / headroom;
+      }
+    }
+  }
+  return alloc_w;
+}
+
+PerformanceAwarePolicy::PerformanceAwarePolicy(const PerfPolicyConfig& config)
+    : config_(config) {}
+
+void PerformanceAwarePolicy::reset() {
+  prev_bips_.clear();
+  prev_alloc_.clear();
+  prev2_alloc_.clear();
+  phi_.clear();
+  primed_ = false;
+}
+
+std::vector<double> PerformanceAwarePolicy::provision(
+    double budget_w, std::span<const IslandObservation> observations,
+    std::span<const double> previous_alloc_w) {
+  const std::size_t n = observations.size();
+  std::vector<double> alloc(n, budget_w / static_cast<double>(n));
+
+  if (!primed_ || prev_bips_.size() != n) {
+    // First invocation: equal provisioning (paper: P_i(0) = P_target / N).
+    prev_bips_.assign(n, 0.0);
+    phi_.assign(n, 1.0);
+    prev_alloc_.assign(previous_alloc_w.begin(), previous_alloc_w.end());
+    if (prev_alloc_.size() != n) prev_alloc_ = alloc;
+    prev2_alloc_ = prev_alloc_;
+    for (std::size_t i = 0; i < n; ++i) prev_bips_[i] = observations[i].bips;
+    primed_ = true;
+    return apply_share_bounds(std::move(alloc), budget_w, config_.min_share,
+                              config_.max_share);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Eq. 4: expected BIPS from the cube-law power->frequency->perf chain.
+    const double p_ratio =
+        prev2_alloc_[i] > 1e-9 ? prev_alloc_[i] / prev2_alloc_[i] : 1.0;
+    const double expected =
+        prev_bips_[i] * std::cbrt(std::max(1e-6, p_ratio));
+    // Eq. 5: conversion efficiency.
+    const double phi_raw =
+        expected > 1e-9 ? observations[i].bips / expected : 1.0;
+    const double clamped = std::clamp(phi_raw, 0.05, 20.0);
+    phi_[i] = config_.phi_smoothing * clamped +
+              (1.0 - config_.phi_smoothing) * phi_[i];
+  }
+
+  // Allocation weights. The paper provisions "in the proportion of expected
+  // performance variation for the scaling in frequency over the next
+  // interval": an island's expected benefit from more power is its current
+  // draw scaled by how much of its time is compute (utilization) times the
+  // cube-law power headroom to fmax. phi (Eqs. 4-6) multiplies in the
+  // measured power->performance conversion efficiency.
+  const auto& dvfs = config_.dvfs;
+  const double top_fv2 = dvfs.level(dvfs.max_level()).dynamic_energy_scale();
+  std::vector<double> weight(n);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cur =
+        dvfs.level(std::min(observations[i].dvfs_level, dvfs.max_level()));
+    const double cur_fv2 = cur.dynamic_energy_scale();
+    const double scaling_potential =
+        1.0 + observations[i].utilization * (top_fv2 / cur_fv2 - 1.0);
+    const double desire =
+        std::max(1e-6, observations[i].power_w) * scaling_potential;
+    weight[i] = phi_[i] * desire;
+    weight_sum += weight[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Eq. 6 (generalized): allocation proportional to the benefit weight;
+    // the sum equals the budget.
+    alloc[i] = weight_sum > 0.0 ? budget_w * weight[i] / weight_sum
+                                : budget_w / static_cast<double>(n);
+  }
+
+  if (config_.reclaim_unusable) {
+    // Estimated ceiling on each island's usable power: its measured draw
+    // scaled to the top DVFS level by the known f V^2 ratio, plus headroom.
+    std::vector<double> ceiling(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cur = dvfs.level(
+          std::min(observations[i].dvfs_level, dvfs.max_level()));
+      const double cur_fv2 = cur.dynamic_energy_scale();
+      ceiling[i] = observations[i].power_w > 0.0
+                       ? observations[i].power_w * top_fv2 / cur_fv2 *
+                             config_.demand_headroom
+                       : budget_w;  // no data: no cap
+    }
+    // Clamp to the ceiling and hand the reclaimed power to islands with
+    // remaining estimated demand, proportionally to that remaining demand.
+    double reclaimed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc[i] > ceiling[i]) {
+        reclaimed += alloc[i] - ceiling[i];
+        alloc[i] = ceiling[i];
+      }
+    }
+    for (int round = 0; round < 3 && reclaimed > 1e-9; ++round) {
+      double open_demand = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        open_demand += std::max(0.0, ceiling[i] - alloc[i]);
+      }
+      if (open_demand <= 1e-12) break;
+      const double grant = std::min(reclaimed, open_demand);
+      for (std::size_t i = 0; i < n; ++i) {
+        alloc[i] += grant * std::max(0.0, ceiling[i] - alloc[i]) / open_demand;
+      }
+      reclaimed -= grant;
+    }
+    // Whatever no island can use stays unallocated (the chip simply cannot
+    // draw the full budget this interval).
+  }
+
+  alloc = apply_share_bounds_capped(std::move(alloc), budget_w,
+                                    config_.min_share, config_.max_share);
+
+  prev2_alloc_ = prev_alloc_;
+  prev_alloc_.assign(previous_alloc_w.begin(), previous_alloc_w.end());
+  for (std::size_t i = 0; i < n; ++i) prev_bips_[i] = observations[i].bips;
+  return alloc;
+}
+
+}  // namespace cpm::core

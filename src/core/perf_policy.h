@@ -1,0 +1,77 @@
+// Performance-aware power provisioning (paper Sec. II-C, Eqs. 4-6):
+// maximize total instruction throughput subject to the chip budget.
+//
+// Expected performance after a power change follows the cube law
+// (P_dyn ~ f^3, Eq. 1):  BIPS_e(t) = BIPS_a(t-1) * (P(t-1)/P(t-2))^(1/3).
+// The ratio phi = BIPS_a / BIPS_e measures how well an island converted its
+// provisioned power into throughput; the next allocation is proportional to
+// phi (Eq. 6), so power drains away from islands that cannot use it (e.g.
+// memory-bound, or DVFS-saturated) toward islands that can.
+#pragma once
+
+#include "core/policy.h"
+#include "sim/dvfs.h"
+
+namespace cpm::core {
+
+struct PerfPolicyConfig {
+  /// Floor on any island's share of the budget (guards against starvation;
+  /// the paper notes the formulation self-corrects, this bounds the
+  /// transient).
+  double min_share = 0.02;
+  /// Optional ceiling on any island's share (the paper's "no island gets
+  /// more than x%" example constraint); 1.0 disables it.
+  double max_share = 1.0;
+  /// Smoothing on phi to avoid over-reacting to one noisy interval.
+  double phi_smoothing = 0.5;  // weight of the new phi sample
+
+  /// Demand-cap reclamation (the paper's "the GPM would realize this fact
+  /// and provision less power budget ... allocate the extra budget to some
+  /// other application"): an island at DVFS level l drawing P watts cannot
+  /// usefully consume more than P * (f V^2)_max / (f V^2)_l. Allocations
+  /// above that estimated ceiling (times `demand_headroom`) are reclaimed
+  /// and redistributed to power-limited islands.
+  bool reclaim_unusable = true;
+  double demand_headroom = 1.15;
+  sim::DvfsTable dvfs = sim::DvfsTable::pentium_m();
+};
+
+class PerformanceAwarePolicy final : public ProvisioningPolicy {
+ public:
+  explicit PerformanceAwarePolicy(const PerfPolicyConfig& config = {});
+
+  std::vector<double> provision(
+      double budget_w, std::span<const IslandObservation> observations,
+      std::span<const double> previous_alloc_w) override;
+
+  std::string_view name() const override { return "performance-aware"; }
+  void reset() override;
+
+  /// Last computed phi values (for tests/diagnostics).
+  const std::vector<double>& last_phi() const noexcept { return phi_; }
+
+ private:
+  PerfPolicyConfig config_;
+  std::vector<double> prev_bips_;
+  std::vector<double> prev_alloc_;   // P(t-1)
+  std::vector<double> prev2_alloc_;  // P(t-2)
+  std::vector<double> phi_;
+  bool primed_ = false;
+};
+
+/// Applies share floors/ceilings and renormalizes so the total equals
+/// `budget_w`. Shared by several policies; exposed for testing.
+std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
+                                       double budget_w, double min_share,
+                                       double max_share);
+
+/// Like apply_share_bounds, but preserves the incoming total (which may be
+/// below the budget when unusable power was deliberately left unallocated):
+/// floors are funded by above-floor islands, ceiling excess is redistributed
+/// or dropped -- the total never grows.
+std::vector<double> apply_share_bounds_capped(std::vector<double> alloc_w,
+                                              double budget_w,
+                                              double min_share,
+                                              double max_share);
+
+}  // namespace cpm::core

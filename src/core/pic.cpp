@@ -1,0 +1,84 @@
+#include "core/pic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::core {
+
+namespace {
+
+control::PidConfig make_pid_config(const PicConfig& cfg) {
+  control::PidConfig pid;
+  pid.gains = cfg.gains;
+  pid.integral_limit = cfg.integral_limit_pct;
+  // Output clamp applies to the normalized (nominal-gain) output; the
+  // gain-schedule scaling happens after, so widen by the worst-case scale.
+  pid.output_min = -cfg.max_step_ghz;
+  pid.output_max = cfg.max_step_ghz;
+  return pid;
+}
+
+}  // namespace
+
+Pic::Pic(const PicConfig& config, power::TransducerModel transducer,
+         double initial_freq_ghz)
+    : config_(config),
+      transducer_(transducer),
+      pid_(make_pid_config(config)),
+      observer_(/*input_gain_b=*/config.plant_gain * config.power_scale_w /
+                    100.0,
+                config.observer_gain > 0.0 ? config.observer_gain : 1.0),
+      freq_request_ghz_(
+          std::clamp(initial_freq_ghz, config.min_freq_ghz, config.max_freq_ghz)) {}
+
+double Pic::invoke(double measured_utilization, double level_scale) {
+  double sensed_w = sensed_power_w(measured_utilization, level_scale);
+  if (config_.observer_gain > 0.0) {
+    sensed_w = observer_.update(last_delta_ghz_, sensed_w);
+  }
+  // Error in percentage points of the chip power scale, matching the units
+  // the plant gain a_i was identified in (% power per GHz).
+  last_error_pct_ = (target_w_ - sensed_w) / config_.power_scale_w * 100.0;
+
+  // Sub-quantum errors: hold the current request. The PID is not updated so
+  // neither the integral nor the derivative react to noise the actuator
+  // cannot correct anyway.
+  if (std::abs(last_error_pct_) < config_.deadband_pct) {
+    last_delta_ghz_ = 0.0;
+    return freq_request_ghz_;
+  }
+
+  // Conditional-integration anti-windup: when the frequency request is
+  // pinned at a bound and the error pushes further into it (e.g. the island
+  // cannot consume its provisioned power even at fmax), accumulating the
+  // integral would delay the response to the next demand swing.
+  const bool saturated_high =
+      freq_request_ghz_ >= config_.max_freq_ghz - 1e-9 && last_error_pct_ > 0.0;
+  const bool saturated_low =
+      freq_request_ghz_ <= config_.min_freq_ghz + 1e-9 && last_error_pct_ < 0.0;
+
+  double delta_ghz = pid_.update(last_error_pct_, saturated_high || saturated_low);
+  // Gain scheduling: preserve the designed pole locations when the island's
+  // identified gain differs from the design-nominal one.
+  if (config_.plant_gain > 1e-9) {
+    delta_ghz *= config_.nominal_plant_gain / config_.plant_gain;
+  }
+  delta_ghz = std::clamp(delta_ghz, -config_.max_step_ghz, config_.max_step_ghz);
+
+  const double previous = freq_request_ghz_;
+  freq_request_ghz_ = std::clamp(freq_request_ghz_ + delta_ghz,
+                                 config_.min_freq_ghz, config_.max_freq_ghz);
+  last_delta_ghz_ = freq_request_ghz_ - previous;
+  return freq_request_ghz_;
+}
+
+void Pic::reset(double initial_freq_ghz) {
+  pid_.reset();
+  observer_.reset();
+  last_error_pct_ = 0.0;
+  last_delta_ghz_ = 0.0;
+  freq_request_ghz_ =
+      std::clamp(initial_freq_ghz, config_.min_freq_ghz, config_.max_freq_ghz);
+}
+
+}  // namespace cpm::core

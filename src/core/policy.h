@@ -1,0 +1,33 @@
+// GPM provisioning-policy interface (paper Sec. II-C). The GPM is decoupled
+// from the PICs precisely so that policies are pluggable: performance-aware,
+// thermal-aware and variation-aware policies are provided; new policies only
+// implement `provision`.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cpm::core {
+
+class ProvisioningPolicy {
+ public:
+  virtual ~ProvisioningPolicy() = default;
+
+  /// Splits `budget_w` across islands given the last interval's observations
+  /// and the previous allocation. Must return one non-negative value per
+  /// island; the GPM verifies the sum does not exceed the budget.
+  virtual std::vector<double> provision(
+      double budget_w, std::span<const IslandObservation> observations,
+      std::span<const double> previous_alloc_w) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Notifies the policy of a new run (clears internal history).
+  virtual void reset() {}
+};
+
+}  // namespace cpm::core

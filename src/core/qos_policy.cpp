@@ -1,0 +1,61 @@
+#include "core/qos_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::core {
+
+QosAwarePolicy::QosAwarePolicy(const QosPolicyConfig& config)
+    : config_(config), inner_(config.perf) {}
+
+void QosAwarePolicy::reset() {
+  inner_.reset();
+  reservations_.clear();
+}
+
+double QosAwarePolicy::estimate_power_for_bips(double power_w, double bips,
+                                               double target_bips) {
+  if (power_w <= 0.0 || bips <= 0.0 || target_bips <= 0.0) return 0.0;
+  // Performance ~ f and dynamic power ~ f^3 over the DVFS range (paper
+  // Eqs. 1/3), so the power to reach the target scales with the cube of the
+  // throughput ratio. Clamped: the estimate is only trusted near the
+  // current operating point.
+  const double ratio = std::clamp(target_bips / bips, 0.2, 5.0);
+  return power_w * ratio * ratio * ratio;
+}
+
+std::vector<double> QosAwarePolicy::provision(
+    double budget_w, std::span<const IslandObservation> observations,
+    std::span<const double> previous_alloc_w) {
+  const std::size_t n = observations.size();
+  if (config_.min_bips.size() != n) config_.min_bips.resize(n, 0.0);
+
+  // --- reserve power to honour each island's SLA ---------------------------
+  reservations_.assign(n, 0.0);
+  double reserved_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_.min_bips[i] <= 0.0) continue;
+    reservations_[i] =
+        estimate_power_for_bips(observations[i].power_w, observations[i].bips,
+                                config_.min_bips[i]) *
+        config_.headroom;
+    reserved_total += reservations_[i];
+  }
+  const double reserve_cap = config_.max_reserved_fraction * budget_w;
+  if (reserved_total > reserve_cap && reserved_total > 0.0) {
+    // Infeasible SLAs: degrade all reservations proportionally.
+    const double scale = reserve_cap / reserved_total;
+    for (auto& r : reservations_) r *= scale;
+    reserved_total = reserve_cap;
+  }
+
+  // --- split the residual with the performance-aware policy ----------------
+  const double residual = budget_w - reserved_total;
+  std::vector<double> alloc =
+      inner_.provision(std::max(1e-9, residual), observations,
+                       previous_alloc_w);
+  for (std::size_t i = 0; i < n; ++i) alloc[i] += reservations_[i];
+  return alloc;
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,59 @@
+// QoS-aware power provisioning -- the remaining policy class the paper names
+// as feasible ("policies to increase reliability and QoS provisioning are
+// also feasible", Sec. II-C): each island may carry a minimum-throughput
+// SLA. The policy first reserves, per island, the power estimated to meet
+// its SLA (cube-law scaling of the island's measured operating point), then
+// splits the remaining budget with the performance-aware policy. Under an
+// infeasibly tight budget, reservations are scaled down proportionally --
+// the SLA degrades gracefully instead of starving best-effort islands to
+// zero.
+#pragma once
+
+#include <vector>
+
+#include "core/perf_policy.h"
+#include "core/policy.h"
+
+namespace cpm::core {
+
+struct QosPolicyConfig {
+  /// Per-island minimum BIPS (0 = best effort). Sized at first provision()
+  /// call if left empty.
+  std::vector<double> min_bips;
+  /// Safety margin on the estimated power reservation.
+  double headroom = 1.15;
+  /// Cap on the total reserved fraction of the budget (the rest always goes
+  /// through the performance-aware split).
+  double max_reserved_fraction = 0.8;
+  PerfPolicyConfig perf{};
+};
+
+class QosAwarePolicy final : public ProvisioningPolicy {
+ public:
+  explicit QosAwarePolicy(const QosPolicyConfig& config = {});
+
+  std::vector<double> provision(
+      double budget_w, std::span<const IslandObservation> observations,
+      std::span<const double> previous_alloc_w) override;
+
+  std::string_view name() const override { return "qos-aware"; }
+  void reset() override;
+
+  /// Last computed per-island reservations (diagnostics/tests).
+  const std::vector<double>& last_reservations() const noexcept {
+    return reservations_;
+  }
+
+  /// Power estimated to sustain `target_bips` for an island currently
+  /// producing `bips` at `power_w` (cube-law frequency/power scaling,
+  /// clamped to [0.2x, 5x] of the current draw). Exposed for testing.
+  static double estimate_power_for_bips(double power_w, double bips,
+                                        double target_bips);
+
+ private:
+  QosPolicyConfig config_;
+  PerformanceAwarePolicy inner_;
+  std::vector<double> reservations_;
+};
+
+}  // namespace cpm::core

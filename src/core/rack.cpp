@@ -1,0 +1,112 @@
+#include "core/rack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/perf_policy.h"
+
+namespace cpm::core {
+
+RackManager::RackManager(const RackConfig& config,
+                         std::vector<std::unique_ptr<Simulation>> chips)
+    : config_(config), chips_(std::move(chips)) {
+  if (chips_.empty()) throw std::invalid_argument("RackManager: no chips");
+  for (const auto& chip : chips_) {
+    if (!chip) throw std::invalid_argument("RackManager: null chip");
+  }
+  if (config_.budget_fraction <= 0.0 || config_.budget_fraction > 1.0) {
+    throw std::invalid_argument("RackManager: budget fraction out of (0,1]");
+  }
+  if (config_.epoch_s <= 0.0) {
+    throw std::invalid_argument("RackManager: epoch must be positive");
+  }
+  double total_max = 0.0;
+  for (const auto& chip : chips_) total_max += chip->max_chip_power_w();
+  rack_budget_w_ = config_.budget_fraction * total_max;
+}
+
+RackResult RackManager::run(double duration_s) {
+  if (!(duration_s > 0.0) || !std::isfinite(duration_s)) {
+    throw std::invalid_argument("RackManager::run: duration must be positive");
+  }
+  const std::size_t k = chips_.size();
+
+  std::vector<std::unique_ptr<SimulationRun>> runs;
+  runs.reserve(k);
+  std::vector<double> budgets(k);
+  double total_max = 0.0;
+  for (const auto& chip : chips_) total_max += chip->max_chip_power_w();
+  for (std::size_t c = 0; c < k; ++c) {
+    runs.push_back(chips_[c]->start());
+    // Initial split: proportional to each chip's max power (its "size").
+    budgets[c] = rack_budget_w_ * chips_[c]->max_chip_power_w() / total_max;
+    runs[c]->set_budget_w(budgets[c]);
+  }
+
+  // Per-chip throughput-per-watt efficiency estimate (EWMA).
+  std::vector<double> efficiency(k, 1.0);
+
+  RackResult result;
+  result.rack_budget_w = rack_budget_w_;
+  const std::size_t epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(duration_s / config_.epoch_s + 0.5));
+
+  double power_sum = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (auto& run : runs) run->advance(config_.epoch_s);
+
+    // Observe each chip and update its efficiency (BIPS per watt, measured
+    // over the last GPM window of the epoch).
+    double epoch_power = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double power = runs[c]->last_window_power_w();
+      const double bips = runs[c]->last_window_bips();
+      epoch_power += power;
+      if (power > 1e-6) {
+        const double eff = bips / power;
+        efficiency[c] = config_.efficiency_smoothing * eff +
+                        (1.0 - config_.efficiency_smoothing) * efficiency[c];
+      }
+    }
+    result.epoch_power_w.push_back(epoch_power);
+    power_sum += epoch_power;
+    if (e + 1 == epochs) break;  // nothing runs after the last epoch
+
+    // Re-provision: share proportional to (efficiency x chip size), the
+    // rack-level analogue of the GPM's benefit weighting, with a floor.
+    double weight_sum = 0.0;
+    std::vector<double> weight(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      weight[c] = efficiency[c] * chips_[c]->max_chip_power_w();
+      weight_sum += weight[c];
+    }
+    std::vector<double> raw(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      raw[c] = weight_sum > 0.0 ? rack_budget_w_ * weight[c] / weight_sum
+                                : rack_budget_w_ / static_cast<double>(k);
+    }
+    budgets = apply_share_bounds(std::move(raw), rack_budget_w_,
+                                 config_.min_share, 1.0);
+    for (std::size_t c = 0; c < k; ++c) {
+      // Never hand a chip more than it can physically draw.
+      budgets[c] = std::min(budgets[c], chips_[c]->max_chip_power_w());
+      runs[c]->set_budget_w(budgets[c]);
+    }
+  }
+
+  result.total_power_w = power_sum / static_cast<double>(epochs);
+  for (std::size_t c = 0; c < k; ++c) {
+    RackChipStats stats;
+    stats.budget_w = budgets[c];
+    stats.max_power_w = chips_[c]->max_chip_power_w();
+    result.chip_results.push_back(runs[c]->finish());
+    stats.mean_power_w = result.chip_results.back().avg_chip_power_w;
+    stats.instructions = result.chip_results.back().total_instructions;
+    result.total_instructions += stats.instructions;
+    result.chips.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace cpm::core

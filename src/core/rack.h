@@ -1,0 +1,68 @@
+// Rack-level power coordination (extension): the paper's decoupled hierarchy
+// applied one level up. Prior cluster-power work the paper positions itself
+// against manages whole machines with open-loop heuristics; here a
+// RackManager plays the GPM's role across *chips* -- it splits a rack power
+// budget among nodes in proportion to each chip's measured ability to turn
+// power into throughput, while each chip's own GPM+PICs (a full Simulation)
+// keep enforcing the per-chip budget they are handed. The same
+// provision-then-cap contract, recursively.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace cpm::core {
+
+struct RackConfig {
+  /// Rack budget as a fraction of the sum of the chips' max powers.
+  double budget_fraction = 0.75;
+  /// Re-provisioning epoch, seconds (an integer multiple of the chips' GPM
+  /// interval keeps the tiers aligned).
+  double epoch_s = 0.025;
+  /// Smoothing of the per-chip efficiency estimate.
+  double efficiency_smoothing = 0.5;
+  /// Per-chip share floor (fraction of the rack budget).
+  double min_share = 0.05;
+};
+
+/// Per-chip state and results of a rack run.
+struct RackChipStats {
+  double budget_w = 0.0;        // final per-chip budget
+  double mean_power_w = 0.0;
+  double instructions = 0.0;
+  double max_power_w = 0.0;     // chip's own scale
+};
+
+struct RackResult {
+  double rack_budget_w = 0.0;
+  double total_power_w = 0.0;   // mean of summed chip power
+  double total_instructions = 0.0;
+  std::vector<RackChipStats> chips;
+  std::vector<SimulationResult> chip_results;
+  /// Rack power per epoch (sum of the chips' last-window means).
+  std::vector<double> epoch_power_w;
+};
+
+class RackManager {
+ public:
+  /// Takes ownership of the chips' Simulations (each already calibrated).
+  RackManager(const RackConfig& config,
+              std::vector<std::unique_ptr<Simulation>> chips);
+
+  /// Runs all chips for `duration_s`, re-provisioning the rack budget at
+  /// every epoch boundary.
+  RackResult run(double duration_s);
+
+  double rack_budget_w() const noexcept { return rack_budget_w_; }
+  std::size_t num_chips() const noexcept { return chips_.size(); }
+
+ private:
+  RackConfig config_;
+  std::vector<std::unique_ptr<Simulation>> chips_;
+  double rack_budget_w_ = 0.0;
+};
+
+}  // namespace cpm::core

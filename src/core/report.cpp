@@ -1,0 +1,136 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cpm::core {
+
+namespace {
+
+const char* manager_name(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kCpm: return "CPM (GPM + PICs)";
+    case ManagerKind::kMaxBips: return "MaxBIPS";
+    case ManagerKind::kNoDvfs: return "NoDVFS (all cores at fmax)";
+  }
+  return "?";
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPerformance: return "performance-aware";
+    case PolicyKind::kThermal: return "thermal-aware";
+    case PolicyKind::kVariation: return "variation-aware";
+    case PolicyKind::kEnergy: return "energy-aware";
+    case PolicyKind::kQos: return "QoS-aware";
+  }
+  return "?";
+}
+
+std::string pct(double fraction, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << " %";
+  return ss.str();
+}
+
+std::string num(double value, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+}  // namespace
+
+void write_markdown_report(std::ostream& os, const SimulationConfig& config,
+                           const SimulationResult& result,
+                           const ReportOptions& options) {
+  const ChipTrackingMetrics chip = chip_tracking_metrics(result.gpm_records);
+  const std::size_t islands = config.cmp.num_islands;
+
+  os << "# " << options.title << "\n\n";
+
+  os << "## Configuration\n\n"
+     << "| parameter | value |\n|---|---|\n"
+     << "| topology | " << config.cmp.total_cores() << " cores, " << islands
+     << " islands x " << config.cmp.cores_per_island << " |\n"
+     << "| workload mix | " << config.mix.name << " |\n"
+     << "| manager | " << manager_name(config.manager) << " |\n";
+  if (config.manager == ManagerKind::kCpm) {
+    os << "| GPM policy | " << policy_name(config.policy) << " |\n";
+  }
+  os << "| budget | " << pct(config.budget_fraction, 0) << " of max ("
+     << num(result.budget_w) << " W) |\n"
+     << "| duration | " << num(result.duration_s * 1e3, 0) << " ms ("
+     << result.gpm_records.size() << " GPM intervals) |\n"
+     << "| seed | " << config.seed << " |\n\n";
+
+  os << "## Calibration\n\n"
+     << "Measured maximum chip power: **" << num(result.max_chip_power_w)
+     << " W**\n\n"
+     << "| island | transducer k1 (W/util) | k0 (W) | R^2 | plant gain a_i "
+        "(%/GHz) |\n|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < result.calibration.transducers.size(); ++i) {
+    const auto& t = result.calibration.transducers[i];
+    os << "| " << i + 1 << " | " << num(t.k1) << " | " << num(t.k0) << " | "
+       << num(t.r_squared, 3) << " | "
+       << num(result.calibration.plant_gains[i]) << " |\n";
+  }
+
+  os << "\n## Chip-level tracking\n\n"
+     << "| metric | value |\n|---|---|\n"
+     << "| mean power | " << num(result.avg_chip_power_w) << " W ("
+     << pct(result.avg_chip_power_w / result.max_chip_power_w) << " of max) |\n"
+     << "| max overshoot vs budget | " << pct(chip.max_overshoot) << " |\n"
+     << "| max undershoot vs budget | " << pct(chip.max_undershoot) << " |\n"
+     << "| mean abs error | " << pct(chip.mean_abs_error) << " |\n"
+     << "| mean chip BIPS | " << num(result.avg_chip_bips, 3) << " |\n"
+     << "| instructions retired | " << num(result.total_instructions, 0)
+     << " |\n"
+     << "| DVFS transitions | " << num(result.dvfs_transitions, 0) << " |\n"
+     << "| hotspot time | " << pct(result.hotspot_fraction) << " |\n";
+
+  if (options.include_island_tracking) {
+    os << "\n## Per-island tracking (PIC)\n\n"
+       << "| island | max overshoot | mean settling (PIC inv.) | steady-state "
+          "err | mean err |\n|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < islands; ++i) {
+      const IslandTrackingMetrics m =
+          island_tracking_metrics(result.pic_records, i);
+      os << "| " << i + 1 << " | " << pct(m.max_overshoot) << " | "
+         << num(m.mean_settling_time, 1) << " | " << pct(m.steady_state_error)
+         << " | " << pct(m.mean_tracking_error) << " |\n";
+    }
+  }
+
+  if (options.include_residency && !result.island_level_residency.empty()) {
+    const std::size_t levels = result.island_level_residency.front().size();
+    os << "\n## DVFS level residency\n\nFraction of PIC intervals spent at "
+          "each level (0 = lowest).\n\n| island |";
+    for (std::size_t l = 0; l < levels; ++l) os << " L" << l << " |";
+    os << "\n|---|";
+    for (std::size_t l = 0; l < levels; ++l) os << "---|";
+    os << "\n";
+    for (std::size_t i = 0; i < result.island_level_residency.size(); ++i) {
+      os << "| " << i + 1 << " |";
+      for (const double r : result.island_level_residency[i]) {
+        os << ' ' << pct(r, 0) << " |";
+      }
+      os << "\n";
+    }
+  }
+  os << "\n";
+}
+
+std::string summarize(const SimulationResult& result) {
+  const ChipTrackingMetrics chip = chip_tracking_metrics(result.gpm_records);
+  std::ostringstream ss;
+  ss << "chip at " << pct(result.avg_chip_power_w / result.max_chip_power_w)
+     << " of max power against a "
+     << pct(result.budget_w / result.max_chip_power_w) << " budget ("
+     << pct(chip.mean_abs_error) << " mean error, " << pct(chip.max_overshoot)
+     << " worst overshoot), " << num(result.avg_chip_bips, 2)
+     << " BIPS over " << num(result.duration_s * 1e3, 0) << " ms";
+  return ss.str();
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,31 @@
+// Human-readable run reports: renders a SimulationResult into a markdown
+// document (configuration, calibration, chip/island tracking, DVFS
+// residency) for lab notebooks and CI artifacts. Used by the CLI's
+// --report option.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/simulation.h"
+
+namespace cpm::core {
+
+struct ReportOptions {
+  std::string title = "CPM simulation report";
+  /// Include the per-island DVFS residency histogram section.
+  bool include_residency = true;
+  /// Include per-island tracking metrics.
+  bool include_island_tracking = true;
+};
+
+/// Writes a markdown report for `result` produced under `config`.
+void write_markdown_report(std::ostream& os, const SimulationConfig& config,
+                           const SimulationResult& result,
+                           const ReportOptions& options = {});
+
+/// Short single-paragraph summary (used by examples and logs).
+std::string summarize(const SimulationResult& result);
+
+}  // namespace cpm::core

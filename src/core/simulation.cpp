@@ -1,0 +1,633 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "control/system_id.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace cpm::core {
+
+thermal::Floorplan make_floorplan(std::size_t num_cores) {
+  if (num_cores == 0) throw std::invalid_argument("make_floorplan: 0 cores");
+  std::size_t rows = static_cast<std::size_t>(std::sqrt(
+      static_cast<double>(num_cores)));
+  while (rows > 1 && num_cores % rows != 0) --rows;
+  return thermal::Floorplan(rows, num_cores / rows);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> island_adjacency(
+    const thermal::Floorplan& floorplan, std::size_t num_islands,
+    std::size_t cores_per_island) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t a = 0; a < num_islands; ++a) {
+    for (std::size_t b = a + 1; b < num_islands; ++b) {
+      bool adjacent = false;
+      for (std::size_t ca = 0; ca < cores_per_island && !adjacent; ++ca) {
+        for (std::size_t cb = 0; cb < cores_per_island && !adjacent; ++cb) {
+          adjacent = floorplan.adjacent(a * cores_per_island + ca,
+                                        b * cores_per_island + cb);
+        }
+      }
+      if (adjacent) pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)),
+      power_model_(config_.cmp, config_.island_leak_mults) {
+  if (config_.mix.num_islands() != config_.cmp.num_islands ||
+      config_.mix.cores_per_island() != config_.cmp.cores_per_island) {
+    throw std::invalid_argument("Simulation: mix does not match CMP topology");
+  }
+  if (config_.budget_fraction <= 0.0 || config_.budget_fraction > 1.0) {
+    throw std::invalid_argument("Simulation: budget fraction out of (0,1]");
+  }
+  if (config_.cmp.ticks_per_pic_interval == 0) {
+    throw std::invalid_argument("Simulation: ticks_per_pic_interval must be > 0");
+  }
+  if (config_.cmp.pic_invocations_per_gpm() == 0) {
+    throw std::invalid_argument(
+        "Simulation: PIC interval must not exceed the GPM interval");
+  }
+  double prev_time = -1.0;
+  for (const auto& [time_s, fraction] : config_.budget_schedule) {
+    if (fraction <= 0.0 || fraction > 1.0) {
+      throw std::invalid_argument(
+          "Simulation: scheduled budget fraction out of (0,1]");
+    }
+    if (time_s < prev_time) {
+      throw std::invalid_argument(
+          "Simulation: budget_schedule must be sorted by time");
+    }
+    prev_time = time_s;
+  }
+  calibrate();  // sets max_power_w_ (unmanaged peak) and budget_w_
+}
+
+namespace {
+
+/// Per-island accumulator over one calibration interval.
+struct IntervalAccum {
+  double utilization = 0.0;
+  double bips = 0.0;
+  double instructions = 0.0;
+  double true_power_w = 0.0;
+  std::size_t ticks = 0;
+
+  void add(double u, double b, double instr, double p_true) {
+    utilization += u;
+    bips += b;
+    instructions += instr;
+    true_power_w += p_true;
+    ++ticks;
+  }
+  double mean_util() const { return ticks ? utilization / double(ticks) : 0.0; }
+  double mean_power() const {
+    return ticks ? true_power_w / double(ticks) : 0.0;
+  }
+  void reset() { *this = IntervalAccum{}; }
+};
+
+}  // namespace
+
+double Simulation::level_scale(std::size_t level) const {
+  const auto& dvfs = config_.cmp.dvfs;
+  return dvfs.level(level).dynamic_energy_scale() /
+         dvfs.level(dvfs.max_level()).dynamic_energy_scale();
+}
+
+void Simulation::calibrate() {
+  const auto& cmp = config_.cmp;
+  sim::Chip chip(cmp, config_.mix, config_.seed);
+  thermal::RcThermalModel thermal(make_floorplan(cmp.total_cores()),
+                                  config_.thermal_params);
+  util::Xoshiro256pp rng(config_.seed ^ 0xCA11B7A7E5EEDULL);
+
+  const double dt = cmp.tick_seconds();
+  const std::size_t total_ticks = std::max<std::size_t>(
+      cmp.ticks_per_pic_interval * 16,
+      static_cast<std::size_t>(config_.calibration_seconds / dt));
+  // Phase A (first half): all islands held at fmax -- measures the chip's
+  // unmanaged peak power, which defines the budget percentage scale ("max
+  // chip power"). Phase B (second half): white-noise DVFS excitation for
+  // transducer fitting and plant-gain identification (Fig. 5 methodology).
+  const std::size_t phase_a_ticks = total_ticks / 2;
+  const std::size_t n = cmp.num_islands;
+
+  std::vector<std::vector<double>> utils(n), powers_ref(n), powers_raw(n),
+      freqs(n);
+  std::vector<IntervalAccum> accum(n);
+  std::vector<double> core_powers(cmp.total_cores(), 0.0);
+  double peak_chip_power = 0.0;
+  std::vector<double> island_peak(n, 0.0);
+  std::vector<util::RunningStats> island_fmax_bips(n);
+  std::vector<util::RunningStats> island_fmax_leak(n);
+
+  for (std::size_t t = 0; t < total_ticks; ++t) {
+    const sim::ChipTick tick = chip.step(dt);
+    double chip_power = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto op = chip.island(i).operating_point();
+      double island_power = 0.0;
+      double island_leak = 0.0;
+      for (std::size_t c = 0; c < cmp.cores_per_island; ++c) {
+        const std::size_t g = i * cmp.cores_per_island + c;
+        const power::PowerBreakdown pb = power_model_.core_power(
+            tick.islands[i].cores[c], op, i, thermal.temperature(g));
+        core_powers[g] = pb.total();
+        island_power += pb.total();
+        island_leak += pb.leakage_w;
+      }
+      chip_power += island_power;
+      accum[i].add(tick.islands[i].utilization, tick.islands[i].bips,
+                   tick.islands[i].instructions, island_power);
+      if (t < phase_a_ticks) {
+        island_peak[i] = std::max(island_peak[i], island_power);
+        island_fmax_bips[i].add(tick.islands[i].bips);
+        island_fmax_leak[i].add(island_leak);
+      }
+    }
+    thermal.step(core_powers, dt);
+    if (t < phase_a_ticks) peak_chip_power = std::max(peak_chip_power, chip_power);
+
+    if ((t + 1) % cmp.ticks_per_pic_interval == 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t level = chip.island(i).actuator().current_level();
+        utils[i].push_back(accum[i].mean_util());
+        // Normalize power samples to the reference (top) level so a single
+        // linear u->P line covers the whole DVFS range.
+        powers_ref[i].push_back(accum[i].mean_power() / level_scale(level));
+        powers_raw[i].push_back(accum[i].mean_power());
+        freqs[i].push_back(chip.island(i).operating_point().freq_ghz);
+        accum[i].reset();
+        if (t >= phase_a_ticks) {
+          // White-noise DVFS excitation (paper Fig. 5 methodology): jump to
+          // a uniformly random level each local interval.
+          chip.island(i).actuator().set_level(
+              rng.uniform_int(cmp.dvfs.num_levels()));
+        }
+      }
+    }
+  }
+
+  max_power_w_ = peak_chip_power;
+  budget_w_ = config_.budget_fraction * max_power_w_;
+
+  calibration_.transducers.clear();
+  calibration_.plant_gains.clear();
+  calibration_.plant_gain_r2.clear();
+  calibration_.island_peak_power_w = island_peak;
+  calibration_.island_fmax_bips.clear();
+  calibration_.island_fmax_leakage_w.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    calibration_.island_fmax_bips.push_back(island_fmax_bips[i].mean());
+    calibration_.island_fmax_leakage_w.push_back(island_fmax_leak[i].mean());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    calibration_.transducers.push_back(
+        power::calibrate_transducer(utils[i], powers_ref[i]));
+    // Plant gain a_i: delta (power, % of chip max) per delta (freq, GHz),
+    // from phase-B samples where frequency actually moved.
+    std::vector<double> df, dp_pct;
+    for (std::size_t k = 1; k < freqs[i].size(); ++k) {
+      if (freqs[i][k] == freqs[i][k - 1]) continue;
+      df.push_back(freqs[i][k] - freqs[i][k - 1]);
+      dp_pct.push_back(
+          (powers_raw[i][k] - powers_raw[i][k - 1]) / max_power_w_ * 100.0);
+    }
+    const control::GainEstimate est = control::estimate_plant_gain(df, dp_pct);
+    calibration_.plant_gains.push_back(std::max(0.05, est.gain));
+    calibration_.plant_gain_r2.push_back(est.r_squared);
+    util::log_info() << "calibration island " << i << ": transducer k1="
+                     << calibration_.transducers[i].k1
+                     << " k0=" << calibration_.transducers[i].k0
+                     << " R2=" << calibration_.transducers[i].r_squared
+                     << " plant a=" << calibration_.plant_gains[i];
+  }
+}
+
+SimulationResult Simulation::run(double duration_s) {
+  auto live = start();
+  live->advance(duration_s);
+  return live->finish();
+}
+
+std::unique_ptr<SimulationRun> Simulation::start() {
+  return std::unique_ptr<SimulationRun>(new SimulationRun(*this));
+}
+
+// ---------------------------------------------------------------------------
+// SimulationRun
+// ---------------------------------------------------------------------------
+
+SimulationRun::SimulationRun(Simulation& owner)
+    : owner_(&owner),
+      chip_(owner.config_.cmp, owner.config_.mix, owner.config_.seed),
+      thermal_(make_floorplan(owner.config_.cmp.total_cores()),
+               owner.config_.thermal_params),
+      hotspots_(owner.config_.cmp.total_cores(),
+                owner.config_.hotspot_threshold_c),
+      sensor_rng_(owner.config_.seed ^ 0x5E4504ULL),
+      migration_advisor_(owner.config_.migration),
+      dt_(owner.config_.cmp.tick_seconds()),
+      n_(owner.config_.cmp.num_islands),
+      ticks_per_pic_(owner.config_.cmp.ticks_per_pic_interval),
+      pics_per_gpm_(owner.config_.cmp.pic_invocations_per_gpm()),
+      fmax_(owner.config_.cmp.dvfs.max_freq()),
+      live_budget_w_(owner.budget_w_) {
+  const SimulationConfig& config = owner.config_;
+  const auto& cmp = config.cmp;
+  const CalibrationResult& calibration = owner.calibration_;
+  chip_.set_max_power_w(owner.max_power_w_);
+
+  // ---- build the manager -------------------------------------------------
+  if (config.manager == ManagerKind::kCpm) {
+    PerfPolicyConfig perf_cfg = config.perf_policy;
+    perf_cfg.dvfs = cmp.dvfs;  // demand ceilings use the chip's real table
+    std::unique_ptr<ProvisioningPolicy> policy;
+    switch (config.policy) {
+      case PolicyKind::kPerformance:
+        policy = std::make_unique<PerformanceAwarePolicy>(perf_cfg);
+        break;
+      case PolicyKind::kThermal: {
+        ThermalConstraints cons = config.thermal_constraints;
+        if (cons.adjacent_pairs.empty()) {
+          // Auto-configured constraints: derive adjacency from the
+          // floorplan and scale the caps to this chip's island count (the
+          // struct's literal defaults are the paper's 8-island constants).
+          const ThermalConstraints scaled =
+              ThermalConstraints::scaled_defaults(n_);
+          cons.single_cap_share = scaled.single_cap_share;
+          cons.pair_cap_share = scaled.pair_cap_share;
+          cons.adjacent_pairs =
+              island_adjacency(make_floorplan(cmp.total_cores()), n_,
+                               cmp.cores_per_island);
+        }
+        policy = std::make_unique<ThermalAwarePolicy>(
+            std::make_unique<PerformanceAwarePolicy>(perf_cfg),
+            std::move(cons), n_);
+        break;
+      }
+      case PolicyKind::kVariation: {
+        VariationPolicyConfig vcfg = config.variation_policy;
+        vcfg.dvfs = cmp.dvfs;
+        policy = std::make_unique<VariationAwarePolicy>(vcfg);
+        break;
+      }
+      case PolicyKind::kQos: {
+        QosPolicyConfig qcfg = config.qos_policy;
+        qcfg.perf = perf_cfg;
+        policy = std::make_unique<QosAwarePolicy>(qcfg);
+        break;
+      }
+      case PolicyKind::kEnergy: {
+        EnergyPolicyConfig ecfg = config.energy_policy;
+        ecfg.perf = perf_cfg;
+        if (ecfg.reference_bips <= 0.0) {
+          for (const double bips : calibration.island_fmax_bips) {
+            ecfg.reference_bips += bips;
+          }
+        }
+        policy = std::make_unique<EnergyAwarePolicy>(ecfg);
+        break;
+      }
+    }
+    gpm_ = std::make_unique<Gpm>(std::move(policy), live_budget_w_, n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      PicConfig pc;
+      pc.gains = config.pid_gains;
+      pc.plant_gain = calibration.plant_gains[i];
+      pc.min_freq_ghz = cmp.dvfs.min_freq();
+      pc.max_freq_ghz = cmp.dvfs.max_freq();
+      pc.power_scale_w = owner.max_power_w_;
+      pc.max_step_ghz = config.pic_max_step_ghz;
+      pc.deadband_pct = config.pic_deadband_pct;
+      pc.observer_gain = config.pic_observer_gain;
+      // Start each island at the level whose dynamic-power scale roughly
+      // matches its (equal) share of the budget, so the run does not open
+      // with a chip-wide overshoot while the PICs pull power down from fmax.
+      std::size_t init_level = cmp.dvfs.max_level();
+      while (init_level > 0 &&
+             owner.level_scale(init_level) > config.budget_fraction) {
+        --init_level;
+      }
+      chip_.island(i).actuator().set_level(init_level);
+      chip_.island(i).actuator().consume_stall(1.0);  // no startup stall
+      pics_.emplace_back(pc, calibration.transducers[i],
+                         cmp.dvfs.level(init_level).freq_ghz);
+      pics_.back().set_target_w(live_budget_w_ / static_cast<double>(n_));
+      // Migration invalidates the per-island transducer calibration (the
+      // island's thread mix changes), so online recalibration is mandatory
+      // whenever migration is enabled.
+      if (config.adaptive_transducer || config.enable_migration) {
+        adaptive_.emplace_back(calibration.transducers[i]);
+      }
+    }
+  } else if (config.manager == ManagerKind::kMaxBips) {
+    MaxBipsConfig mc;
+    mc.dvfs = cmp.dvfs;
+    maxbips_ = std::make_unique<MaxBipsManager>(mc, live_budget_w_);
+  }
+
+  // MaxBIPS's static prediction table: each island characterized once, at
+  // fmax, by its calibration-time peak power and mean BIPS.
+  maxbips_static_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    maxbips_static_[i].bips = calibration.island_fmax_bips[i];
+    maxbips_static_[i].power_w = calibration.island_peak_power_w[i];
+    maxbips_static_[i].leakage_w = calibration.island_fmax_leakage_w[i];
+    maxbips_static_[i].dvfs_level = cmp.dvfs.max_level();
+  }
+
+  // ---- result / accumulator setup -----------------------------------------
+  result_.max_chip_power_w = owner.max_power_w_;
+  result_.budget_w = owner.budget_w_;
+  result_.calibration = calibration;
+  result_.island_instructions.assign(n_, 0.0);
+  result_.island_energy_j.assign(n_, 0.0);
+  result_.island_avg_bips.assign(n_, 0.0);
+  result_.island_level_residency.assign(
+      n_, std::vector<double>(cmp.dvfs.num_levels(), 0.0));
+  pic_accum_.resize(n_);
+  gpm_accum_.resize(n_);
+  gpm_sensed_energy_.assign(n_, 0.0);
+  core_powers_.assign(cmp.total_cores(), 0.0);
+  core_util_sum_.assign(cmp.total_cores(), 0.0);
+}
+
+double SimulationRun::elapsed_s() const noexcept {
+  return static_cast<double>(tick_) * dt_;
+}
+
+double SimulationRun::instructions() const {
+  if (finished_) {
+    throw std::logic_error("SimulationRun: observables invalid after finish()");
+  }
+  return result_.total_instructions;
+}
+
+double SimulationRun::last_window_power_w() const {
+  if (finished_) {
+    throw std::logic_error("SimulationRun: observables invalid after finish()");
+  }
+  return result_.gpm_records.empty() ? 0.0
+                                     : result_.gpm_records.back().chip_actual_w;
+}
+
+double SimulationRun::last_window_bips() const {
+  if (finished_) {
+    throw std::logic_error("SimulationRun: observables invalid after finish()");
+  }
+  return result_.gpm_records.empty() ? 0.0
+                                     : result_.gpm_records.back().chip_bips;
+}
+
+void SimulationRun::set_budget_w(double watts) {
+  if (!(watts > 0.0) || !std::isfinite(watts)) {
+    throw std::invalid_argument("SimulationRun: budget must be positive");
+  }
+  pending_budget_w_ = watts;
+}
+
+void SimulationRun::advance(double seconds) {
+  if (finished_) {
+    throw std::logic_error("SimulationRun::advance: run already finished");
+  }
+  if (!(seconds > 0.0) || !std::isfinite(seconds)) {
+    throw std::invalid_argument("SimulationRun::advance: duration must be positive");
+  }
+  const std::uint64_t ticks =
+      static_cast<std::uint64_t>(seconds / dt_ + 0.5);
+  for (std::uint64_t t = 0; t < ticks; ++t) tick_once();
+}
+
+void SimulationRun::tick_once() {
+  const SimulationConfig& config = owner_->config_;
+  const auto& cmp = config.cmp;
+  const double now = static_cast<double>(tick_ + 1) * dt_;
+  const sim::ChipTick tick = chip_.step(dt_);
+
+  double chip_power = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto op = chip_.island(i).operating_point();
+    double island_power = 0.0;
+    for (std::size_t c = 0; c < cmp.cores_per_island; ++c) {
+      const std::size_t g = i * cmp.cores_per_island + c;
+      const double p = owner_->power_model_
+                           .core_power(tick.islands[i].cores[c], op, i,
+                                       thermal_.temperature(g))
+                           .total();
+      core_powers_[g] = p;
+      island_power += p;
+    }
+    chip_power += island_power;
+    if (config.enable_migration) {
+      // Frequency-normalized utilization (u_ref = u f / (u f + fmax (1-u)))
+      // makes cores on islands at different frequencies comparable for the
+      // migration advisor.
+      const double f = op.freq_ghz;
+      for (std::size_t c = 0; c < cmp.cores_per_island; ++c) {
+        const double u = tick.islands[i].cores[c].utilization;
+        const double denom = u * f + fmax_ * (1.0 - u);
+        core_util_sum_[i * cmp.cores_per_island + c] +=
+            denom > 0.0 ? u * f / denom : 0.0;
+      }
+    }
+    pic_accum_[i].add(tick.islands[i].utilization, tick.islands[i].bips,
+                      tick.islands[i].instructions, island_power);
+    gpm_accum_[i].add(tick.islands[i].utilization, tick.islands[i].bips,
+                      tick.islands[i].instructions, island_power);
+    result_.island_instructions[i] += tick.islands[i].instructions;
+    result_.island_energy_j[i] += island_power * dt_;
+    result_.island_avg_bips[i] += tick.islands[i].bips;
+  }
+  thermal_.step(core_powers_, dt_);
+  hotspots_.record(thermal_.temperatures(), dt_);
+  if (config.enable_migration) ++core_util_ticks_;
+  chip_power_stats_.add(chip_power);
+  chip_bips_stats_.add(tick.total_bips);
+  result_.total_instructions += tick.total_instructions;
+  ++tick_;
+
+  if (tick_ % ticks_per_pic_ == 0) {
+    pic_boundary(now);
+    ++pic_count_in_window_;
+  }
+  if (pic_count_in_window_ == pics_per_gpm_) {
+    pic_count_in_window_ = 0;
+    gpm_boundary(now);
+  }
+}
+
+void SimulationRun::pic_boundary(double now) {
+  const SimulationConfig& config = owner_->config_;
+  const auto& cmp = config.cmp;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double u = pic_accum_[i].mean_util();
+    if (config.sensor_noise_sigma > 0.0) {
+      u = std::clamp(
+          u * (1.0 + config.sensor_noise_sigma * sensor_rng_.normal()), 0.0,
+          1.0);
+    }
+    PicIntervalRecord rec;
+    rec.time_s = now;
+    rec.island = i;
+    rec.actual_w = pic_accum_[i].mean_power();
+    rec.utilization = u;
+    rec.bips = pic_accum_[i].mean_bips();
+    rec.freq_ghz = chip_.island(i).operating_point().freq_ghz;
+    rec.dvfs_level = chip_.island(i).actuator().current_level();
+
+    if (config.manager == ManagerKind::kCpm) {
+      const double scale = owner_->level_scale(rec.dvfs_level);
+      if (!adaptive_.empty()) {
+        // Online observations are normalized to the reference level, like
+        // the offline calibration samples.
+        adaptive_[i].observe(u, rec.actual_w / scale);
+        pics_[i].set_transducer(adaptive_[i].model());
+      }
+      rec.target_w = pics_[i].target_w();
+      rec.sensed_w = pics_[i].sensed_power_w(u, scale);
+      gpm_sensed_energy_[i] += rec.sensed_w * cmp.pic_interval_s;
+      const double freq_req = pics_[i].invoke(u, scale);
+      chip_.island(i).actuator().request_frequency(freq_req);
+    } else {
+      rec.target_w = live_budget_w_ / static_cast<double>(n_);
+      rec.sensed_w = rec.actual_w;
+      gpm_sensed_energy_[i] += rec.sensed_w * cmp.pic_interval_s;
+    }
+    result_.pic_records.push_back(rec);
+    result_.island_level_residency[i][rec.dvfs_level] += 1.0;
+    pic_accum_[i].reset();
+  }
+}
+
+void SimulationRun::gpm_boundary(double now) {
+  const SimulationConfig& config = owner_->config_;
+  const auto& cmp = config.cmp;
+
+  // Budget updates: a supervisor override (set_budget_w) may be pending;
+  // the configured schedule is processed after it and therefore takes
+  // precedence when both land on the same boundary (the schedule is part of
+  // the experiment's definition; the override is advisory).
+  while (schedule_cursor_ < config.budget_schedule.size() &&
+         config.budget_schedule[schedule_cursor_].first <= now) {
+    pending_budget_w_ = config.budget_schedule[schedule_cursor_].second *
+                        owner_->max_power_w_;
+    ++schedule_cursor_;
+  }
+  if (pending_budget_w_ > 0.0) {
+    live_budget_w_ = pending_budget_w_;
+    pending_budget_w_ = -1.0;
+    if (gpm_) gpm_->set_budget_w(live_budget_w_);
+    if (maxbips_) {
+      MaxBipsConfig mc;
+      mc.dvfs = cmp.dvfs;
+      maxbips_ = std::make_unique<MaxBipsManager>(mc, live_budget_w_);
+    }
+  }
+
+  std::vector<IslandObservation> obs(n_);
+  GpmIntervalRecord rec;
+  rec.time_s = now;
+  rec.chip_budget_w = live_budget_w_;
+  rec.max_temp_c = thermal_.max_temperature();
+  for (std::size_t i = 0; i < n_; ++i) {
+    obs[i].bips = gpm_accum_[i].mean_bips();
+    obs[i].utilization = gpm_accum_[i].mean_util();
+    obs[i].instructions = gpm_accum_[i].instructions;
+    obs[i].energy_j = gpm_sensed_energy_[i];
+    obs[i].power_w = gpm_sensed_energy_[i] / cmp.gpm_interval_s;
+    obs[i].dvfs_level = chip_.island(i).actuator().current_level();
+
+    rec.island_actual_w.push_back(gpm_accum_[i].mean_power());
+    rec.island_bips.push_back(obs[i].bips);
+    rec.chip_actual_w += gpm_accum_[i].mean_power();
+    rec.chip_bips += obs[i].bips;
+    gpm_accum_[i].reset();
+    gpm_sensed_energy_[i] = 0.0;
+  }
+
+  if (config.manager == ManagerKind::kCpm) {
+    const std::vector<double> alloc = gpm_->invoke(obs);
+    for (std::size_t i = 0; i < n_; ++i) pics_[i].set_target_w(alloc[i]);
+    rec.island_alloc_w = alloc;
+  } else if (config.manager == ManagerKind::kMaxBips) {
+    const std::vector<std::size_t> levels = maxbips_->choose_levels(
+        config.maxbips_dynamic ? std::span<const IslandObservation>(obs)
+                               : std::span<const IslandObservation>(
+                                     maxbips_static_));
+    for (std::size_t i = 0; i < n_; ++i) {
+      chip_.island(i).actuator().set_level(levels[i]);
+    }
+    rec.island_alloc_w.assign(n_, live_budget_w_ / static_cast<double>(n_));
+  } else {
+    rec.island_alloc_w.assign(n_, live_budget_w_ / static_cast<double>(n_));
+  }
+  result_.gpm_records.push_back(std::move(rec));
+
+  // ---- migration advisor (extension) ----
+  if (config.enable_migration && core_util_ticks_ > 0) {
+    std::vector<double> means(core_util_sum_.size());
+    for (std::size_t c = 0; c < means.size(); ++c) {
+      means[c] = core_util_sum_[c] / static_cast<double>(core_util_ticks_);
+      core_util_sum_[c] = 0.0;
+    }
+    core_util_ticks_ = 0;
+    if (migration_cooldown_ > 0) {
+      --migration_cooldown_;
+    } else {
+      const auto proposal =
+          migration_advisor_.propose(means, n_, cmp.cores_per_island);
+      if (proposal) {
+        chip_.migrate(proposal->island_a, proposal->core_a,
+                      proposal->island_b, proposal->core_b,
+                      config.migration.migration_stall_s);
+        ++result_.migrations;
+        migration_cooldown_ = config.migration.cooldown_windows;
+        // The moved threads invalidate both islands' utilization->power
+        // models: restart their online calibration from scratch (low prior
+        // weight -> fast relearning).
+        if (!adaptive_.empty()) {
+          adaptive_[proposal->island_a] = power::AdaptiveTransducer(
+              owner_->calibration_.transducers[proposal->island_a]);
+          adaptive_[proposal->island_b] = power::AdaptiveTransducer(
+              owner_->calibration_.transducers[proposal->island_b]);
+        }
+      }
+    }
+  }
+}
+
+SimulationResult SimulationRun::finish() {
+  if (finished_) {
+    throw std::logic_error("SimulationRun::finish: already finished");
+  }
+  finished_ = true;
+  result_.duration_s = elapsed_s();
+  for (auto& residency : result_.island_level_residency) {
+    double total = 0.0;
+    for (const double r : residency) total += r;
+    if (total > 0.0) {
+      for (double& r : residency) r /= total;
+    }
+  }
+  result_.avg_chip_power_w = chip_power_stats_.mean();
+  result_.avg_chip_bips = chip_bips_stats_.mean();
+  result_.hotspot_fraction = hotspots_.hot_fraction();
+  for (std::size_t i = 0; i < n_; ++i) {
+    result_.island_avg_bips[i] /=
+        static_cast<double>(std::max<std::uint64_t>(1, tick_));
+    result_.dvfs_transitions += static_cast<double>(
+        chip_.island(i).actuator().transition_count());
+  }
+  return std::move(result_);
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,180 @@
+#include "core/thermal_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpm::core {
+
+ThermalConstraintTracker::ThermalConstraintTracker(
+    ThermalConstraints constraints, std::size_t num_islands)
+    : constraints_(std::move(constraints)),
+      pair_streak_(constraints_.adjacent_pairs.size(), 0),
+      single_streak_(num_islands, 0) {
+  for (const auto& [a, b] : constraints_.adjacent_pairs) {
+    if (a >= num_islands || b >= num_islands) {
+      throw std::invalid_argument("ThermalConstraintTracker: pair out of range");
+    }
+  }
+}
+
+bool ThermalConstraintTracker::record(std::span<const double> alloc_w,
+                                      double budget_w) {
+  if (alloc_w.size() != single_streak_.size()) {
+    throw std::invalid_argument("ThermalConstraintTracker: size mismatch");
+  }
+  ++intervals_;
+  bool violated = false;
+  for (std::size_t p = 0; p < constraints_.adjacent_pairs.size(); ++p) {
+    const auto& [a, b] = constraints_.adjacent_pairs[p];
+    const bool over =
+        alloc_w[a] + alloc_w[b] > constraints_.pair_cap_share * budget_w;
+    pair_streak_[p] = over ? pair_streak_[p] + 1 : 0;
+    if (pair_streak_[p] >= constraints_.pair_consecutive_limit) violated = true;
+  }
+  for (std::size_t i = 0; i < alloc_w.size(); ++i) {
+    const bool over = alloc_w[i] > constraints_.single_cap_share * budget_w;
+    single_streak_[i] = over ? single_streak_[i] + 1 : 0;
+    if (single_streak_[i] >= constraints_.single_consecutive_limit) {
+      violated = true;
+    }
+  }
+  if (violated) ++violations_;
+  return violated;
+}
+
+bool ThermalConstraintTracker::would_violate(std::span<const double> alloc_w,
+                                             double budget_w) const {
+  for (std::size_t p = 0; p < constraints_.adjacent_pairs.size(); ++p) {
+    const auto& [a, b] = constraints_.adjacent_pairs[p];
+    if (alloc_w[a] + alloc_w[b] > constraints_.pair_cap_share * budget_w &&
+        pair_streak_[p] + 1 >= constraints_.pair_consecutive_limit) {
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < alloc_w.size(); ++i) {
+    if (alloc_w[i] > constraints_.single_cap_share * budget_w &&
+        single_streak_[i] + 1 >= constraints_.single_consecutive_limit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> ThermalConstraintTracker::enforce(
+    std::vector<double> alloc, double budget_w) const {
+  constexpr double kMargin = 0.999;
+  const std::size_t n = alloc.size();
+  const auto& cons = constraints_;
+  const double single_cap = cons.single_cap_share * budget_w * kMargin;
+
+  // Streak-critical constraints: one more over-cap interval completes a
+  // violation.
+  std::vector<bool> single_critical(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    single_critical[i] =
+        single_streak_[i] + 1 >= cons.single_consecutive_limit;
+  }
+  std::vector<bool> pair_critical(cons.adjacent_pairs.size(), false);
+  for (std::size_t p = 0; p < cons.adjacent_pairs.size(); ++p) {
+    pair_critical[p] = pair_streak_[p] + 1 >= cons.pair_consecutive_limit;
+  }
+
+  auto clamp_criticals = [&](std::vector<bool>* frozen, double* freed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (single_critical[i] && alloc[i] > single_cap) {
+        if (freed) *freed += alloc[i] - single_cap;
+        alloc[i] = single_cap;
+        if (frozen) (*frozen)[i] = true;
+      }
+    }
+    for (std::size_t p = 0; p < cons.adjacent_pairs.size(); ++p) {
+      if (!pair_critical[p]) continue;
+      const auto& [a, b] = cons.adjacent_pairs[p];
+      const double cap = cons.pair_cap_share * budget_w * kMargin;
+      const double total = alloc[a] + alloc[b];
+      if (total > cap) {
+        const double scale = cap / total;
+        if (freed) *freed += total - cap;
+        alloc[a] *= scale;
+        alloc[b] *= scale;
+        if (frozen) {
+          (*frozen)[a] = true;
+          (*frozen)[b] = true;
+        }
+      }
+    }
+  };
+
+  std::vector<bool> frozen(n, false);
+  double freed = 0.0;
+  clamp_criticals(&frozen, &freed);
+
+  // Redistribute the clamped power to unfrozen islands, bounded by each
+  // island's headroom under every streak-critical constraint it is part of
+  // (pair headroom is halved: it is shared between two islands).
+  auto headroom = [&](std::size_t i) {
+    if (frozen[i]) return 0.0;
+    double head = single_critical[i] ? std::max(0.0, single_cap - alloc[i])
+                                     : single_cap;  // generous when uncritical
+    for (std::size_t p = 0; p < cons.adjacent_pairs.size(); ++p) {
+      if (!pair_critical[p]) continue;
+      const auto& [a, b] = cons.adjacent_pairs[p];
+      if (a != i && b != i) continue;
+      const double cap = cons.pair_cap_share * budget_w * kMargin;
+      head = std::min(head, std::max(0.0, (cap - alloc[a] - alloc[b]) / 2.0));
+    }
+    return head;
+  };
+
+  for (int round = 0; round < 4 && freed > 1e-9; ++round) {
+    double total_head = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total_head += headroom(i);
+    if (total_head <= 1e-12) break;
+    const double grant = std::min(freed, total_head);
+    for (std::size_t i = 0; i < n; ++i) {
+      alloc[i] += grant * headroom(i) / total_head;
+    }
+    freed -= grant;
+  }
+
+  // Final guard: redistribution rounding must not leave a critical
+  // constraint over its cap (excess is dropped, not redistributed).
+  clamp_criticals(nullptr, nullptr);
+  return alloc;
+}
+
+double ThermalConstraintTracker::violation_fraction() const noexcept {
+  return intervals_ ? static_cast<double>(violations_) /
+                          static_cast<double>(intervals_)
+                    : 0.0;
+}
+
+void ThermalConstraintTracker::reset() {
+  std::fill(pair_streak_.begin(), pair_streak_.end(), 0);
+  std::fill(single_streak_.begin(), single_streak_.end(), 0);
+  intervals_ = 0;
+  violations_ = 0;
+}
+
+ThermalAwarePolicy::ThermalAwarePolicy(
+    std::unique_ptr<ProvisioningPolicy> base, ThermalConstraints constraints,
+    std::size_t num_islands)
+    : base_(std::move(base)), tracker_(std::move(constraints), num_islands) {
+  if (!base_) throw std::invalid_argument("ThermalAwarePolicy: null base");
+}
+
+std::vector<double> ThermalAwarePolicy::provision(
+    double budget_w, std::span<const IslandObservation> observations,
+    std::span<const double> previous_alloc_w) {
+  std::vector<double> alloc = tracker_.enforce(
+      base_->provision(budget_w, observations, previous_alloc_w), budget_w);
+  tracker_.record(alloc, budget_w);
+  return alloc;
+}
+
+void ThermalAwarePolicy::reset() {
+  base_->reset();
+  tracker_.reset();
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,147 @@
+#include "core/trace_io.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cpm::core {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+double to_double(const std::string& s, const char* context) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_io: bad number in ") + context +
+                             ": '" + s + "'");
+  }
+}
+
+std::size_t to_size(const std::string& s, const char* context) {
+  return static_cast<std::size_t>(to_double(s, context));
+}
+
+}  // namespace
+
+void write_pic_trace_csv(std::ostream& os,
+                         const std::vector<PicIntervalRecord>& records) {
+  os << "time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,"
+        "level\n";
+  os << std::setprecision(10);
+  for (const auto& r : records) {
+    os << r.time_s << ',' << r.island << ',' << r.target_w << ','
+       << r.sensed_w << ',' << r.actual_w << ',' << r.utilization << ','
+       << r.bips << ',' << r.freq_ghz << ',' << r.dvfs_level << '\n';
+  }
+}
+
+void write_gpm_trace_csv(std::ostream& os,
+                         const std::vector<GpmIntervalRecord>& records) {
+  if (records.empty()) {
+    os << "time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c\n";
+    return;
+  }
+  const std::size_t n = records.front().island_alloc_w.size();
+  os << "time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c";
+  for (std::size_t i = 0; i < n; ++i) os << ",alloc_" << i;
+  for (std::size_t i = 0; i < n; ++i) os << ",actual_" << i;
+  os << '\n';
+  os << std::setprecision(10);
+  for (const auto& r : records) {
+    os << r.time_s << ',' << r.chip_budget_w << ',' << r.chip_actual_w << ','
+       << r.chip_bips << ',' << r.max_temp_c;
+    for (const double a : r.island_alloc_w) os << ',' << a;
+    for (const double a : r.island_actual_w) os << ',' << a;
+    os << '\n';
+  }
+}
+
+void write_summary_csv(std::ostream& os, const SimulationResult& result) {
+  os << std::setprecision(10);
+  os << "key,value\n"
+     << "duration_s," << result.duration_s << '\n'
+     << "max_chip_power_w," << result.max_chip_power_w << '\n'
+     << "budget_w," << result.budget_w << '\n'
+     << "avg_chip_power_w," << result.avg_chip_power_w << '\n'
+     << "avg_chip_bips," << result.avg_chip_bips << '\n'
+     << "total_instructions," << result.total_instructions << '\n'
+     << "hotspot_fraction," << result.hotspot_fraction << '\n'
+     << "dvfs_transitions," << result.dvfs_transitions << '\n';
+  for (std::size_t i = 0; i < result.island_instructions.size(); ++i) {
+    os << "island_" << i << "_instructions," << result.island_instructions[i]
+       << '\n';
+    os << "island_" << i << "_energy_j," << result.island_energy_j[i] << '\n';
+  }
+}
+
+std::vector<PicIntervalRecord> read_pic_trace_csv(std::istream& is) {
+  std::vector<PicIntervalRecord> records;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace_io: empty PIC trace");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 9) {
+      throw std::runtime_error("trace_io: bad PIC row arity");
+    }
+    PicIntervalRecord r;
+    r.time_s = to_double(cells[0], "pic.time_s");
+    r.island = to_size(cells[1], "pic.island");
+    r.target_w = to_double(cells[2], "pic.target_w");
+    r.sensed_w = to_double(cells[3], "pic.sensed_w");
+    r.actual_w = to_double(cells[4], "pic.actual_w");
+    r.utilization = to_double(cells[5], "pic.utilization");
+    r.bips = to_double(cells[6], "pic.bips");
+    r.freq_ghz = to_double(cells[7], "pic.freq_ghz");
+    r.dvfs_level = to_size(cells[8], "pic.level");
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<GpmIntervalRecord> read_gpm_trace_csv(std::istream& is) {
+  std::vector<GpmIntervalRecord> records;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace_io: empty GPM trace");
+  }
+  const auto header = split_csv_line(line);
+  if (header.size() < 5 || (header.size() - 5) % 2 != 0) {
+    throw std::runtime_error("trace_io: bad GPM header");
+  }
+  const std::size_t n = (header.size() - 5) / 2;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 5 + 2 * n) {
+      throw std::runtime_error("trace_io: bad GPM row arity");
+    }
+    GpmIntervalRecord r;
+    r.time_s = to_double(cells[0], "gpm.time_s");
+    r.chip_budget_w = to_double(cells[1], "gpm.budget");
+    r.chip_actual_w = to_double(cells[2], "gpm.actual");
+    r.chip_bips = to_double(cells[3], "gpm.bips");
+    r.max_temp_c = to_double(cells[4], "gpm.temp");
+    for (std::size_t i = 0; i < n; ++i) {
+      r.island_alloc_w.push_back(to_double(cells[5 + i], "gpm.alloc"));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      r.island_actual_w.push_back(to_double(cells[5 + n + i], "gpm.island"));
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace cpm::core

@@ -1,0 +1,36 @@
+// CSV export/import of simulation traces, for plotting the figures outside
+// the harness (gnuplot/matplotlib) and for archiving runs. The readers
+// round-trip what the writers emit (used by tests and by tooling that
+// post-processes stored traces).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace cpm::core {
+
+/// One row per (PIC interval, island):
+/// time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,level
+void write_pic_trace_csv(std::ostream& os,
+                         const std::vector<PicIntervalRecord>& records);
+
+/// One row per GPM interval with per-island alloc/actual columns:
+/// time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c,
+/// alloc_0..alloc_{n-1},actual_0..actual_{n-1}
+void write_gpm_trace_csv(std::ostream& os,
+                         const std::vector<GpmIntervalRecord>& records);
+
+/// Run-level summary as key,value rows.
+void write_summary_csv(std::ostream& os, const SimulationResult& result);
+
+/// Parses a PIC trace written by write_pic_trace_csv. Throws
+/// std::runtime_error on malformed input.
+std::vector<PicIntervalRecord> read_pic_trace_csv(std::istream& is);
+
+/// Parses a GPM trace written by write_gpm_trace_csv.
+std::vector<GpmIntervalRecord> read_gpm_trace_csv(std::istream& is);
+
+}  // namespace cpm::core

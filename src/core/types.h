@@ -1,0 +1,47 @@
+// Shared observation/record types flowing between the simulator, the PICs,
+// the GPM, and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cpm::core {
+
+/// What the GPM sees about one island per global interval (from hardware
+/// counters and the PIC's sensed power).
+struct IslandObservation {
+  double bips = 0.0;          // mean BIPS over the interval
+  double power_w = 0.0;       // mean sensed island power
+  double utilization = 0.0;   // mean utilization
+  double instructions = 0.0;  // retired instructions in the interval
+  double energy_j = 0.0;      // sensed energy in the interval
+  double leakage_w = 0.0;     // static share of power_w, if known (else 0)
+  std::size_t dvfs_level = 0; // level at interval end
+};
+
+/// One PIC-interval record (the granularity of Figs. 8-10 plots).
+struct PicIntervalRecord {
+  double time_s = 0.0;
+  std::size_t island = 0;
+  double target_w = 0.0;   // GPM-provisioned power
+  double sensed_w = 0.0;   // transducer estimate fed back to the PID
+  double actual_w = 0.0;   // ground-truth model power (evaluation only)
+  double utilization = 0.0;
+  double bips = 0.0;
+  double freq_ghz = 0.0;
+  std::size_t dvfs_level = 0;
+};
+
+/// One GPM-interval record (the granularity of Fig. 7).
+struct GpmIntervalRecord {
+  double time_s = 0.0;
+  std::vector<double> island_alloc_w;
+  std::vector<double> island_actual_w;
+  std::vector<double> island_bips;
+  double chip_actual_w = 0.0;
+  double chip_budget_w = 0.0;
+  double chip_bips = 0.0;
+  double max_temp_c = 0.0;
+};
+
+}  // namespace cpm::core

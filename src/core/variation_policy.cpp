@@ -1,0 +1,81 @@
+#include "core/variation_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::core {
+
+VariationAwarePolicy::VariationAwarePolicy(const VariationPolicyConfig& config)
+    : config_(config) {}
+
+void VariationAwarePolicy::reset() {
+  level_.clear();
+  state_.clear();
+}
+
+std::vector<double> VariationAwarePolicy::provision(
+    double budget_w, std::span<const IslandObservation> observations,
+    std::span<const double> previous_alloc_w) {
+  const std::size_t n = observations.size();
+  if (level_.size() != n) {
+    level_.assign(n, config_.dvfs.max_level());
+    state_.assign(n, IslandState{});
+  }
+
+  std::vector<double> alloc(previous_alloc_w.begin(), previous_alloc_w.end());
+  if (alloc.size() != n) alloc.assign(n, budget_w / static_cast<double>(n));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& obs = observations[i];
+    IslandState& st = state_[i];
+
+    // Energy per (non-spin) instruction over the last interval.
+    const double epi =
+        obs.instructions > 0.0 ? obs.energy_j / obs.instructions : -1.0;
+
+    if (st.hold > 0) {
+      --st.hold;  // parked at the suspected optimum
+    } else if (epi > 0.0) {
+      if (st.last_epi > 0.0) {
+        const bool improved =
+            epi < st.last_epi * (1.0 - config_.improvement_epsilon);
+        if (improved) {
+          // Keep exploring in the same direction.
+        } else {
+          // Overshot the optimum: reverse, step back, and hold there.
+          st.direction = -st.direction;
+          st.hold = config_.hold_intervals;
+        }
+      }
+      const std::ptrdiff_t next =
+          static_cast<std::ptrdiff_t>(level_[i]) + st.direction;
+      level_[i] = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+          next, 0,
+          static_cast<std::ptrdiff_t>(config_.dvfs.max_level())));
+      st.last_epi = epi;
+    }
+
+    // Provision the power this island is predicted to need at the target
+    // level: scale the observed power by the dynamic-energy ratio f*V^2.
+    const sim::DvfsPoint cur = config_.dvfs.level(
+        std::min(obs.dvfs_level, config_.dvfs.max_level()));
+    const sim::DvfsPoint tgt = config_.dvfs.level(level_[i]);
+    const double cur_fv2 = cur.dynamic_energy_scale();
+    const double tgt_fv2 = tgt.dynamic_energy_scale();
+    const double predicted =
+        obs.power_w > 0.0 && cur_fv2 > 0.0 ? obs.power_w * tgt_fv2 / cur_fv2
+                                           : budget_w / static_cast<double>(n);
+    alloc[i] = predicted;
+  }
+
+  // Respect the chip budget; scaling down preserves the relative V/f intent.
+  double total = 0.0;
+  for (const double a : alloc) total += a;
+  if (total > budget_w && total > 0.0) {
+    const double scale = budget_w / total;
+    for (auto& a : alloc) a *= scale;
+  }
+  return alloc;
+}
+
+}  // namespace cpm::core

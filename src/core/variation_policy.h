@@ -1,0 +1,60 @@
+// Variation-aware power provisioning (paper Sec. IV-B), after the greedy
+// search of Magklis et al. as extended to CMPs by Herbert & Marculescu and
+// made variation-aware by the paper's reference [15].
+//
+// Intra-die process variation makes islands differ in leakage (the paper
+// assumes islands at 1.2x/1.5x/2.0x the leakage of the least leaky island).
+// Each GPM invocation compares the island's energy-per-instruction (EPI)
+// against the previous interval and hill-climbs the island's notional DVFS
+// level: keep moving while EPI improves; on degradation, step back and hold
+// for a fixed number of intervals before resuming exploration. Leaky islands
+// settle at lower V/f (their EPI worsens faster with voltage), minimizing the
+// chip's power/throughput ratio.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/dvfs.h"
+
+namespace cpm::core {
+
+struct VariationPolicyConfig {
+  sim::DvfsTable dvfs = sim::DvfsTable::pentium_m();
+  /// Intervals to hold after overshooting the optimum (paper: 10 PIC
+  /// intervals = 1 GPM interval at default cadence; expressed here in GPM
+  /// invocations).
+  std::size_t hold_intervals = 1;
+  /// Minimal relative EPI improvement counted as "improved" (noise guard).
+  double improvement_epsilon = 0.01;
+};
+
+class VariationAwarePolicy final : public ProvisioningPolicy {
+ public:
+  explicit VariationAwarePolicy(const VariationPolicyConfig& config = {});
+
+  std::vector<double> provision(
+      double budget_w, std::span<const IslandObservation> observations,
+      std::span<const double> previous_alloc_w) override;
+
+  std::string_view name() const override { return "variation-aware"; }
+  void reset() override;
+
+  /// Current notional level targets (for tests/diagnostics).
+  const std::vector<std::size_t>& level_targets() const noexcept {
+    return level_;
+  }
+
+ private:
+  struct IslandState {
+    double last_epi = -1.0;  // <0: no history yet
+    int direction = -1;      // start by exploring downward (saving power)
+    std::size_t hold = 0;
+  };
+
+  VariationPolicyConfig config_;
+  std::vector<std::size_t> level_;
+  std::vector<IslandState> state_;
+};
+
+}  // namespace cpm::core

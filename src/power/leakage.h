@@ -1,0 +1,26 @@
+// HotLeakage-style static power model:
+//   P_leak = k_design * leak_mult * V * exp(beta * (T - T0))
+// leak_mult carries intra-die process variation (paper Sec. IV-B assumes
+// islands at 1.2x / 1.5x / 2.0x the leakage of the least leaky island); the
+// exponential captures the leakage-temperature feedback HotLeakage models.
+#pragma once
+
+namespace cpm::power {
+
+class LeakageModel {
+ public:
+  /// `k_design_w_per_v`: watts per volt per core at T0 with leak_mult 1.
+  LeakageModel(double k_design_w_per_v, double temp_beta, double ref_temp_c);
+
+  double core_watts(double voltage, double temp_c,
+                    double leak_mult = 1.0) const noexcept;
+
+  double ref_temp_c() const noexcept { return ref_temp_c_; }
+
+ private:
+  double k_design_;
+  double beta_;
+  double ref_temp_c_;
+};
+
+}  // namespace cpm::power

@@ -1,0 +1,73 @@
+#include "power/model.h"
+
+#include <stdexcept>
+
+namespace cpm::power {
+
+PowerModel::PowerModel(const sim::CmpConfig& config,
+                       std::vector<double> island_leak_mults)
+    : dynamic_(config.ceff_base_w_per_v2ghz),
+      leakage_(config.leakage_w_per_v, config.leakage_temp_beta,
+               config.leakage_ref_temp_c),
+      dvfs_(config.dvfs),
+      island_leak_mults_(std::move(island_leak_mults)) {
+  if (!island_leak_mults_.empty() &&
+      island_leak_mults_.size() != config.num_islands) {
+    throw std::invalid_argument(
+        "PowerModel: leak multipliers must match island count");
+  }
+}
+
+double PowerModel::island_leak_mult(std::size_t island_idx) const noexcept {
+  if (island_idx < island_leak_mults_.size()) {
+    return island_leak_mults_[island_idx];
+  }
+  return 1.0;
+}
+
+PowerBreakdown PowerModel::core_power(const sim::CoreTick& tick,
+                                      const sim::DvfsPoint& op,
+                                      std::size_t island_idx,
+                                      double temp_c) const {
+  PowerBreakdown out;
+  out.dynamic_w = dynamic_.core_watts(tick, op);
+  out.leakage_w =
+      leakage_.core_watts(op.voltage, temp_c, island_leak_mult(island_idx));
+  return out;
+}
+
+PowerBreakdown PowerModel::island_power(
+    const sim::IslandTick& tick, const sim::DvfsPoint& op,
+    std::size_t island_idx, const std::vector<double>& core_temps_c) const {
+  if (core_temps_c.empty()) {
+    throw std::invalid_argument("island_power: need at least one temperature");
+  }
+  PowerBreakdown out;
+  for (std::size_t c = 0; c < tick.cores.size(); ++c) {
+    const double temp =
+        core_temps_c.size() == 1 ? core_temps_c[0] : core_temps_c.at(c);
+    const PowerBreakdown p =
+        core_power(tick.cores[c], op, island_idx, temp);
+    out.dynamic_w += p.dynamic_w;
+    out.leakage_w += p.leakage_w;
+  }
+  return out;
+}
+
+double PowerModel::max_chip_power_w(const workload::Mix& mix,
+                                    double thermal_margin_c) const {
+  const sim::DvfsPoint top = dvfs_.level(dvfs_.max_level());
+  const double hot_temp = leakage_.ref_temp_c() + thermal_margin_c;
+  double total = 0.0;
+  for (std::size_t i = 0; i < mix.islands.size(); ++i) {
+    for (const auto* profile : mix.islands[i]) {
+      total += dynamic_.watts(top.voltage, top.freq_ghz, /*utilization=*/1.0,
+                              profile->activity_active, profile->activity_idle,
+                              profile->ceff_scale);
+      total += leakage_.core_watts(top.voltage, hot_temp, island_leak_mult(i));
+    }
+  }
+  return total;
+}
+
+}  // namespace cpm::power

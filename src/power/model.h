@@ -1,0 +1,56 @@
+// Combined chip power model (dynamic + leakage) with per-island process
+// variation, plus the max-chip-power bound used to express budgets as a
+// percentage (the paper's "80 % of maximum chip power").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/dynamic.h"
+#include "power/leakage.h"
+#include "sim/chip.h"
+#include "sim/config.h"
+
+namespace cpm::power {
+
+struct PowerBreakdown {
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double total() const noexcept { return dynamic_w + leakage_w; }
+};
+
+class PowerModel {
+ public:
+  /// Builds from the CMP config; `island_leak_mults` (one per island) carries
+  /// intra-die variation (empty = all 1.0).
+  PowerModel(const sim::CmpConfig& config,
+             std::vector<double> island_leak_mults = {});
+
+  /// Power of one core of island `island_idx` at temperature `temp_c`.
+  PowerBreakdown core_power(const sim::CoreTick& tick, const sim::DvfsPoint& op,
+                            std::size_t island_idx, double temp_c) const;
+
+  /// Island power: sum over the tick's cores, one temperature per core
+  /// (temps may be a single value broadcast if sized 1).
+  PowerBreakdown island_power(const sim::IslandTick& tick,
+                              const sim::DvfsPoint& op, std::size_t island_idx,
+                              const std::vector<double>& core_temps_c) const;
+
+  /// Maximum chip power for this mix: every core at the top DVFS level, full
+  /// utilization, its own activity/capacitance, leakage at the reference
+  /// temperature + `thermal_margin_c`.
+  double max_chip_power_w(const workload::Mix& mix,
+                          double thermal_margin_c = 25.0) const;
+
+  double island_leak_mult(std::size_t island_idx) const noexcept;
+  const DynamicPowerModel& dynamic_model() const noexcept { return dynamic_; }
+  const LeakageModel& leakage_model() const noexcept { return leakage_; }
+
+ private:
+  DynamicPowerModel dynamic_;
+  LeakageModel leakage_;
+  sim::DvfsTable dvfs_;
+  std::vector<double> island_leak_mults_;
+};
+
+}  // namespace cpm::power

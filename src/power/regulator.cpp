@@ -1,0 +1,89 @@
+#include "power/regulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpm::power {
+
+RegulatorModel::RegulatorModel(const RegulatorConfig& config)
+    : config_(config) {
+  if (config_.design_load_w <= 0.0 || config_.peak_efficiency <= 0.0 ||
+      config_.peak_efficiency >= 1.0) {
+    throw std::invalid_argument("RegulatorModel: non-physical configuration");
+  }
+  // Calibrate the loss scale so that efficiency at the design load equals
+  // the configured peak:
+  //   D / (D + floor + s*(F+C)*D) == peak.
+  const double relative_loss =
+      config_.fixed_loss_fraction + config_.conduction_loss_fraction;
+  if (relative_loss <= 0.0) {
+    throw std::invalid_argument("RegulatorModel: zero loss coefficients");
+  }
+  const double target_loss =
+      (1.0 / config_.peak_efficiency - 1.0) * config_.design_load_w -
+      config_.fixed_floor_w;
+  loss_scale_ = std::max(0.0, target_loss) /
+                (relative_loss * config_.design_load_w);
+}
+
+double RegulatorModel::loss_w(double load_w) const noexcept {
+  const double load = std::max(0.0, load_w);
+  const double d = config_.design_load_w;
+  // Fixed (load-independent) switching/control losses + conduction losses
+  // growing with the square of the load current.
+  const double fixed = config_.fixed_loss_fraction * d;
+  const double conduction =
+      config_.conduction_loss_fraction * (load * load) / d;
+  return config_.fixed_floor_w + loss_scale_ * (fixed + conduction);
+}
+
+double RegulatorModel::input_power_w(double load_w) const noexcept {
+  return std::max(0.0, load_w) + loss_w(load_w);
+}
+
+double RegulatorModel::efficiency(double load_w) const noexcept {
+  const double load = std::max(0.0, load_w);
+  if (load == 0.0) return 0.0;
+  return load / input_power_w(load);
+}
+
+double RegulatorModel::area_mm2(double peak_load_w) const noexcept {
+  // A fixed control/driver floor plus power-stage area proportional to the
+  // current the regulator must deliver.
+  constexpr double kAreaFloorMm2 = 0.4;
+  return kAreaFloorMm2 +
+         config_.area_mm2_per_design_watt * std::max(0.0, peak_load_w);
+}
+
+GranularityCost dvfs_granularity_cost(std::size_t total_cores,
+                                      std::size_t cores_per_domain,
+                                      double load_per_core_w,
+                                      double peak_per_core_w,
+                                      const RegulatorConfig& base) {
+  if (cores_per_domain == 0 || total_cores == 0) {
+    throw std::invalid_argument("dvfs_granularity_cost: zero cores");
+  }
+  GranularityCost cost;
+  cost.domains = (total_cores + cores_per_domain - 1) / cores_per_domain;
+
+  RegulatorConfig domain_cfg = base;
+  domain_cfg.design_load_w =
+      peak_per_core_w * static_cast<double>(cores_per_domain);
+  const RegulatorModel regulator(domain_cfg);
+
+  const double domain_load =
+      load_per_core_w * static_cast<double>(cores_per_domain);
+  cost.delivered_w =
+      load_per_core_w * static_cast<double>(total_cores);
+  cost.regulator_loss_w =
+      regulator.loss_w(domain_load) * static_cast<double>(cost.domains);
+  cost.regulator_area_mm2 =
+      regulator.area_mm2(domain_cfg.design_load_w) *
+      static_cast<double>(cost.domains);
+  cost.overhead_fraction =
+      cost.delivered_w > 0.0 ? cost.regulator_loss_w / cost.delivered_w : 0.0;
+  return cost;
+}
+
+}  // namespace cpm::power

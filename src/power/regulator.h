@@ -1,0 +1,77 @@
+// On-chip voltage-regulator model: conversion efficiency as a function of
+// load, plus the area/overhead accounting that underlies the paper's central
+// architectural argument -- "with the projected scaling of CMPs to hundreds
+// of cores, it will be prohibitively expensive to provide a per-core DVFS
+// controller on chip" (Sec. II-B). Each DVFS domain needs its own regulator;
+// grouping cores into islands amortizes both the regulator's fixed losses
+// and its area across the island's cores.
+//
+// The efficiency curve is the standard buck-converter shape: poor at light
+// load (fixed switching losses dominate), peaking at the design load, and
+// sagging slightly toward overload (conduction losses ~ I^2).
+#pragma once
+
+#include <cstddef>
+
+namespace cpm::power {
+
+struct RegulatorConfig {
+  /// Load at which efficiency peaks, watts.
+  double design_load_w = 15.0;
+  /// Peak conversion efficiency at the design load.
+  double peak_efficiency = 0.90;
+  /// Fixed losses (gate drive, control) as a fraction of design load --
+  /// dominate at light load.
+  double fixed_loss_fraction = 0.03;
+  /// Per-regulator loss floor in watts, independent of the regulator's size
+  /// (control logic, clocking). This is what makes fine-grained per-core
+  /// regulation expensive: N small regulators pay N floors.
+  double fixed_floor_w = 0.2;
+  /// Conduction-loss coefficient: loss ~ coefficient * (load/design)^2 *
+  /// design_load.
+  double conduction_loss_fraction = 0.05;
+  /// Area per regulator in mm^2 (scales with design load).
+  double area_mm2_per_design_watt = 0.12;
+};
+
+class RegulatorModel {
+ public:
+  explicit RegulatorModel(const RegulatorConfig& config = {});
+
+  /// Input power drawn from the supply to deliver `load_w` to the domain.
+  double input_power_w(double load_w) const noexcept;
+
+  /// Conversion loss in watts at the given load.
+  double loss_w(double load_w) const noexcept;
+
+  /// Efficiency = load / input at the given load (0 for a zero load).
+  double efficiency(double load_w) const noexcept;
+
+  /// Regulator die area for a domain whose peak load is `peak_load_w`.
+  double area_mm2(double peak_load_w) const noexcept;
+
+  const RegulatorConfig& config() const noexcept { return config_; }
+
+ private:
+  RegulatorConfig config_;
+  double loss_scale_;  // calibrated so efficiency(design_load) == peak
+};
+
+/// Chip-level DVFS-granularity cost comparison: total regulator loss and
+/// area when `total_cores` cores at `watts_per_core` peak draw are grouped
+/// into domains of `cores_per_domain` cores.
+struct GranularityCost {
+  std::size_t domains = 0;
+  double regulator_loss_w = 0.0;   // at the given per-core load
+  double regulator_area_mm2 = 0.0; // sized for peak per-core draw
+  double delivered_w = 0.0;
+  double overhead_fraction = 0.0;  // loss / delivered
+};
+
+GranularityCost dvfs_granularity_cost(std::size_t total_cores,
+                                      std::size_t cores_per_domain,
+                                      double load_per_core_w,
+                                      double peak_per_core_w,
+                                      const RegulatorConfig& base = {});
+
+}  // namespace cpm::power

@@ -1,0 +1,47 @@
+#include "power/sensor.h"
+
+#include <cmath>
+
+namespace cpm::power {
+
+TransducerModel calibrate_transducer(std::span<const double> utilization,
+                                     std::span<const double> power_w) {
+  const util::LinearFit fit = util::linear_fit(utilization, power_w);
+  TransducerModel model;
+  model.k1 = fit.slope;
+  model.k0 = fit.intercept;
+  model.r_squared = fit.r_squared;
+  return model;
+}
+
+AdaptiveTransducer::AdaptiveTransducer(TransducerModel initial,
+                                       double forgetting) noexcept
+    : initial_(initial), forgetting_(forgetting) {}
+
+void AdaptiveTransducer::observe(double utilization, double power_w) noexcept {
+  w_ = forgetting_ * w_ + 1.0;
+  sx_ = forgetting_ * sx_ + utilization;
+  sy_ = forgetting_ * sy_ + power_w;
+  sxx_ = forgetting_ * sxx_ + utilization * utilization;
+  sxy_ = forgetting_ * sxy_ + utilization * power_w;
+  ++n_;
+}
+
+TransducerModel AdaptiveTransducer::model() const noexcept {
+  if (n_ < 2 || w_ <= 0.0) return initial_;
+  const double var = sxx_ - sx_ * sx_ / w_;
+  // Without utilization spread the slope is unidentifiable; keep the prior
+  // slope and refresh only the intercept around the observed operating point.
+  if (var < 1e-9) {
+    TransducerModel out = initial_;
+    out.k0 = sy_ / w_ - out.k1 * (sx_ / w_);
+    return out;
+  }
+  TransducerModel out;
+  out.k1 = (sxy_ - sx_ * sy_ / w_) / var;
+  out.k0 = (sy_ - out.k1 * sx_) / w_;
+  out.r_squared = initial_.r_squared;  // not tracked online
+  return out;
+}
+
+}  // namespace cpm::power

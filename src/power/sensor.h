@@ -1,0 +1,61 @@
+// Sensor/transducer of the PIC feedback loop (paper Sec. II-D, Fig. 6).
+//
+// Island power is not directly measurable on a real CMP; the measurable
+// output is processor utilization (hardware counters). The transducer is a
+// linear model P ~= k1*u + k0 calibrated per island/workload (the paper fits
+// it offline with Wattch traces and reports R^2 ~= 0.96). The converted value
+// closes the feedback loop; the PID absorbs the residual model error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/stats.h"
+
+namespace cpm::power {
+
+/// Calibrated linear utilization->power model for one island.
+struct TransducerModel {
+  double k1 = 0.0;  // slope: watts per unit utilization
+  double k0 = 0.0;  // intercept: watts
+  double r_squared = 0.0;
+
+  double estimate_watts(double utilization) const noexcept {
+    return k1 * utilization + k0;
+  }
+};
+
+/// Batch (offline) calibration from paired samples, as the paper does.
+TransducerModel calibrate_transducer(std::span<const double> utilization,
+                                     std::span<const double> power_w);
+
+/// Online transducer with exponential forgetting: tracks slow drift in the
+/// utilization->power relationship (workload phase changes, temperature).
+/// Extension beyond the paper's offline calibration.
+class AdaptiveTransducer {
+ public:
+  /// `forgetting` in (0,1]: per-sample decay of old evidence.
+  explicit AdaptiveTransducer(TransducerModel initial = {},
+                              double forgetting = 0.995) noexcept;
+
+  /// Feeds one (utilization, true/estimated power) calibration observation.
+  void observe(double utilization, double power_w) noexcept;
+
+  /// Current model (falls back to the initial model until two or more
+  /// sufficiently spread samples arrive).
+  TransducerModel model() const noexcept;
+
+  double estimate_watts(double utilization) const noexcept {
+    return model().estimate_watts(utilization);
+  }
+  std::size_t samples() const noexcept { return n_; }
+
+ private:
+  TransducerModel initial_;
+  double forgetting_;
+  // Exponentially decayed sufficient statistics of the least-squares fit.
+  double w_ = 0.0, sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, sxy_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace cpm::power

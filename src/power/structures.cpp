@@ -1,0 +1,132 @@
+#include "power/structures.h"
+
+#include <cmath>
+
+namespace cpm::power {
+
+std::string_view unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kFetch: return "fetch/icache";
+    case Unit::kBranchPred: return "branch predictor";
+    case Unit::kRename: return "rename";
+    case Unit::kScheduler: return "scheduler/window";
+    case Unit::kRegisterFile: return "register file";
+    case Unit::kIntAlu: return "int ALUs";
+    case Unit::kFpAlu: return "fp ALUs";
+    case Unit::kDCache: return "L1 dcache";
+    case Unit::kL2: return "L2 slice";
+    case Unit::kClockTree: return "clock tree";
+    case Unit::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::size_t idx(Unit u) { return static_cast<std::size_t>(u); }
+
+/// Wattch-style geometric scaling heuristics (relative units): array power
+/// grows ~linearly with size and associativity, port power ~quadratically
+/// with port count.
+double array_ceff(double size_kb, double ways, double ports) {
+  return (0.4 + 0.10 * size_kb / 16.0 + 0.05 * ways) * ports * ports * 0.25;
+}
+}  // namespace
+
+StructuralPowerModel::StructuralPowerModel(const sim::CmpConfig& config) {
+  const double fetch_w = static_cast<double>(config.fetch_width);
+  const double issue_w = static_cast<double>(config.issue_width);
+  const double commit_w = static_cast<double>(config.commit_width);
+
+  ceff_[idx(Unit::kFetch)] =
+      array_ceff(static_cast<double>(config.l1i.size_kb),
+                 static_cast<double>(config.l1i.ways), fetch_w / 4.0 + 1.0);
+  ceff_[idx(Unit::kBranchPred)] = 0.25 * fetch_w / 4.0;
+  ceff_[idx(Unit::kRename)] = 0.15 * fetch_w;
+  // Scheduler: CAM-style wakeup scales with window size * issue width.
+  ceff_[idx(Unit::kScheduler)] =
+      0.02 * static_cast<double>(config.scheduler_int_entries +
+                                 config.scheduler_fp_entries) *
+      issue_w;
+  // Register file: ports ~ 2 reads + 1 write per issued/committed op.
+  ceff_[idx(Unit::kRegisterFile)] =
+      0.004 * static_cast<double>(config.register_file_entries) *
+      (2.0 * issue_w + commit_w);
+  ceff_[idx(Unit::kIntAlu)] = 0.35 * issue_w;
+  ceff_[idx(Unit::kFpAlu)] = 0.55 * issue_w;
+  ceff_[idx(Unit::kDCache)] =
+      array_ceff(static_cast<double>(config.l1d.size_kb),
+                 static_cast<double>(config.l1d.ways), 2.0);
+  ceff_[idx(Unit::kL2)] =
+      array_ceff(static_cast<double>(config.l2.size_kb) / 8.0,
+                 static_cast<double>(config.l2.ways), 1.0);
+  // Clock tree: proportional to everything else (ungated share handled via
+  // the idle factor).
+  double partial = 0.0;
+  for (std::size_t i = 0; i < idx(Unit::kClockTree); ++i) partial += ceff_[i];
+  ceff_[idx(Unit::kClockTree)] = 0.35 * partial;
+
+  // Normalize: a fully active core (all activity factors at their maximum,
+  // i.e. activity weight 1) must dissipate config.ceff_base_w_per_v2ghz per
+  // V^2 GHz, matching the aggregate DynamicPowerModel.
+  double total = 0.0;
+  for (const double c : ceff_) total += c;
+  const double scale = config.ceff_base_w_per_v2ghz / total;
+  for (double& c : ceff_) c *= scale;
+}
+
+std::array<double, static_cast<std::size_t>(Unit::kCount)>
+StructuralPowerModel::activity_factors(const workload::InstructionMix& mix) {
+  std::array<double, static_cast<std::size_t>(Unit::kCount)> a{};
+  a[idx(Unit::kFetch)] = 1.0;   // every instruction is fetched
+  a[idx(Unit::kBranchPred)] = 0.3 + 0.7 * mix.branch / 0.1;  // lookup + updates
+  a[idx(Unit::kRename)] = 1.0;
+  a[idx(Unit::kScheduler)] = 1.0;
+  a[idx(Unit::kRegisterFile)] = 1.0 - mix.branch * 0.5;
+  a[idx(Unit::kIntAlu)] = mix.int_alu + mix.branch + 0.5 * (mix.load + mix.store);
+  a[idx(Unit::kFpAlu)] = mix.fp_alu / 0.5;  // normalized to an fp-heavy code
+  a[idx(Unit::kDCache)] = (mix.load + mix.store) / 0.4;
+  a[idx(Unit::kL2)] = 0.2 * (mix.load + mix.store) / 0.4;
+  a[idx(Unit::kClockTree)] = 1.0;  // never gated while the core is active
+  for (double& f : a) f = std::min(1.0, std::max(0.0, f));
+  return a;
+}
+
+std::vector<UnitPower> StructuralPowerModel::breakdown(
+    const workload::InstructionMix& mix, double utilization, double voltage,
+    double freq_ghz, double idle_factor) const {
+  const auto activity = activity_factors(mix);
+  const double u = std::min(1.0, std::max(0.0, utilization));
+  const double v2f = voltage * voltage * freq_ghz;
+
+  std::vector<UnitPower> units;
+  units.reserve(ceff_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < ceff_.size(); ++i) {
+    const double act = u * activity[i] + (1.0 - u * activity[i]) * idle_factor;
+    UnitPower up;
+    up.unit = static_cast<Unit>(i);
+    up.watts = ceff_[i] * v2f * act;
+    total += up.watts;
+    units.push_back(up);
+  }
+  for (auto& up : units) up.share = total > 0.0 ? up.watts / total : 0.0;
+  return units;
+}
+
+double StructuralPowerModel::total_watts(const workload::InstructionMix& mix,
+                                         double utilization, double voltage,
+                                         double freq_ghz,
+                                         double idle_factor) const {
+  double total = 0.0;
+  for (const auto& up :
+       breakdown(mix, utilization, voltage, freq_ghz, idle_factor)) {
+    total += up.watts;
+  }
+  return total;
+}
+
+double StructuralPowerModel::unit_ceff(Unit unit) const noexcept {
+  return ceff_[idx(unit)];
+}
+
+}  // namespace cpm::power

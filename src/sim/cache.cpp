@@ -1,0 +1,186 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cpm::sim {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+SetAssocCache::SetAssocCache(std::size_t size_kb, std::size_t ways,
+                             std::size_t block_bytes)
+    : ways_(ways), block_bytes_(block_bytes) {
+  if (size_kb == 0 || ways == 0 || !is_pow2(block_bytes)) {
+    throw std::invalid_argument("SetAssocCache: bad geometry");
+  }
+  const std::size_t total_blocks = size_kb * 1024 / block_bytes;
+  if (total_blocks < ways || total_blocks % ways != 0) {
+    throw std::invalid_argument("SetAssocCache: size/ways/block mismatch");
+  }
+  sets_ = total_blocks / ways;
+  if (!is_pow2(sets_)) {
+    throw std::invalid_argument("SetAssocCache: set count must be a power of 2");
+  }
+  block_shift_ = static_cast<std::size_t>(std::countr_zero(block_bytes));
+  lines_.assign(sets_ * ways_, Line{});
+}
+
+std::size_t SetAssocCache::set_index(std::uint64_t address) const noexcept {
+  return static_cast<std::size_t>((address >> block_shift_) & (sets_ - 1));
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t address) const noexcept {
+  return (address >> block_shift_) / sets_;
+}
+
+bool SetAssocCache::access(std::uint64_t address, bool is_write) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Line* base = &lines_[set * ways_];
+
+  // Hit path.
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru_stamp = clock_;
+      line.dirty = line.dirty || is_write;
+      return true;
+    }
+  }
+
+  // Miss: pick the LRU victim (prefer invalid lines).
+  ++stats_.misses;
+  std::size_t victim = 0;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const Line& line = base[w];
+    if (!line.valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (line.lru_stamp < oldest) {
+      oldest = line.lru_stamp;
+      victim = w;
+    }
+  }
+  Line& line = base[victim];
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) ++stats_.writebacks;
+  }
+  line.valid = true;
+  line.tag = tag;
+  line.lru_stamp = clock_;
+  line.dirty = is_write;
+  return false;
+}
+
+bool SetAssocCache::probe(std::uint64_t address) const noexcept {
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const Line& line = lines_[set * ways_ + w];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::fill(std::uint64_t address) {
+  ++clock_;
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Line* base = &lines_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru_stamp = clock_;
+      return;  // already resident
+    }
+  }
+  std::size_t victim = 0;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (base[w].lru_stamp < oldest) {
+      oldest = base[w].lru_stamp;
+      victim = w;
+    }
+  }
+  Line& line = base[victim];
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) ++stats_.writebacks;
+  }
+  line.valid = true;
+  line.tag = tag;
+  line.lru_stamp = clock_;
+  line.dirty = false;
+}
+
+void SetAssocCache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+MemoryHierarchy::MemoryHierarchy(const Config& config)
+    : config_(config),
+      l1_(config.l1_size_kb, config.l1_ways, config.block_bytes),
+      l2_(config.l2_size_kb, config.l2_ways, config.block_bytes) {}
+
+double MemoryHierarchy::access_cycles(std::uint64_t address, bool is_write,
+                                      double freq_ghz) {
+  double cycles = static_cast<double>(config_.l1_latency_cycles);
+  if (l1_.access(address, is_write)) return cycles;
+
+  // L1 miss: run the stream prefetcher's pattern detector against the
+  // stream table.
+  if (config_.stream_prefetcher) {
+    const std::uint64_t line = address / l1_.block_bytes();
+    bool matched = false;
+    for (auto& entry : stream_table_) {
+      if (line == entry + 1) {
+        entry = line;
+        // Fill L2 only: an L1 fill would hide the next line's L1 miss from
+        // the detector and kill the stream after one prefetch. Streaming
+        // loads then cost an L2 hit instead of a memory access.
+        l2_.fill((line + 1) * l1_.block_bytes());
+        ++prefetches_;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      stream_table_[stream_rr_] = line;
+      stream_rr_ = (stream_rr_ + 1) % stream_table_.size();
+    }
+  }
+
+  cycles += static_cast<double>(config_.l2_latency_cycles);
+  if (config_.noc != nullptr) {
+    // Banked L2: round trip to the line's home bank across the mesh.
+    const std::size_t bank =
+        (address / l2_.block_bytes()) % config_.noc->num_nodes();
+    cycles += 2.0 * config_.noc->latency_cycles(config_.noc_node, bank,
+                                                config_.noc_load,
+                                                config_.noc_nodes_per_island);
+  }
+  if (l2_.access(address, is_write)) return cycles;
+  ++memory_accesses_;
+  // Memory latency is wall-clock: cycle cost scales with frequency.
+  return cycles + config_.memory_latency_ns * freq_ghz;
+}
+
+void MemoryHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+}  // namespace cpm::sim

@@ -1,0 +1,68 @@
+#include "sim/chip.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cpm::sim {
+
+Chip::Chip(const CmpConfig& config, const workload::Mix& mix,
+           std::uint64_t seed)
+    : config_(config), memory_(config.memory_bandwidth_capacity) {
+  if (mix.num_islands() != config.num_islands) {
+    throw std::invalid_argument("Chip: mix island count != config");
+  }
+  util::Xoshiro256pp master(seed);
+  islands_.reserve(mix.islands.size());
+  std::size_t core_index = 0;
+  for (const auto& assignment : mix.islands) {
+    if (assignment.size() != config.cores_per_island) {
+      throw std::invalid_argument("Chip: mix cores/island != config");
+    }
+    std::vector<CoreModel> cores;
+    cores.reserve(assignment.size());
+    for (const auto* profile : assignment) {
+      // Distinct seed and phase offset per core so replicated benchmarks
+      // (Mix-3) do not run in lockstep.
+      const double offset_ms = 1.7 * static_cast<double>(core_index);
+      cores.emplace_back(*profile, master(), config.contention_gamma,
+                         offset_ms);
+      ++core_index;
+    }
+    islands_.emplace_back(
+        std::move(cores),
+        DvfsActuator(config_.dvfs, config_.dvfs.max_level(),
+                     config_.dvfs_overhead_fraction, config_.pic_interval_s));
+  }
+}
+
+void Chip::migrate(std::size_t island_a, std::size_t core_a,
+                   std::size_t island_b, std::size_t core_b,
+                   double stall_seconds) {
+  if (island_a >= islands_.size() || island_b >= islands_.size()) {
+    throw std::invalid_argument("Chip::migrate: island out of range");
+  }
+  islands_[island_a].swap_core_with(islands_[island_b], core_a, core_b);
+  if (stall_seconds > 0.0) {
+    islands_[island_a].actuator().add_stall(stall_seconds);
+    islands_[island_b].actuator().add_stall(stall_seconds);
+  }
+}
+
+ChipTick Chip::step(double dt_seconds) {
+  ChipTick tick;
+  tick.congestion = memory_.congestion();
+  tick.islands.reserve(islands_.size());
+  double total_demand = 0.0;
+  for (auto& isl : islands_) {
+    IslandTick it = isl.step(dt_seconds, tick.congestion);
+    tick.total_bips += it.bips;
+    tick.total_instructions += it.instructions;
+    total_demand += it.bandwidth_demand;
+    tick.islands.push_back(std::move(it));
+  }
+  memory_.update(total_demand);
+  return tick;
+}
+
+}  // namespace cpm::sim

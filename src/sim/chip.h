@@ -1,0 +1,61 @@
+// The CMP: islands + shared memory system, built from a CmpConfig and an
+// application mix (Table III). Chip::step advances every core one tick and
+// threads the shared-memory congestion coupling between them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/island.h"
+#include "sim/memory.h"
+#include "workload/mixes.h"
+
+namespace cpm::sim {
+
+/// Full-chip observation for one tick.
+struct ChipTick {
+  std::vector<IslandTick> islands;
+  double total_bips = 0.0;
+  double total_instructions = 0.0;
+  double congestion = 0.0;  // congestion experienced by this tick
+};
+
+class Chip {
+ public:
+  /// Builds cores from `mix`; the mix topology must match `config`
+  /// (num_islands and cores_per_island), or std::invalid_argument is thrown.
+  /// All randomness derives from `seed`.
+  Chip(const CmpConfig& config, const workload::Mix& mix, std::uint64_t seed);
+
+  ChipTick step(double dt_seconds);
+
+  std::size_t num_islands() const noexcept { return islands_.size(); }
+  Island& island(std::size_t idx) noexcept { return islands_[idx]; }
+  const Island& island(std::size_t idx) const noexcept { return islands_[idx]; }
+
+  const CmpConfig& config() const noexcept { return config_; }
+  const MemorySystem& memory() const noexcept { return memory_; }
+
+  /// Migrates (swaps) the threads on two cores of different islands, and
+  /// charges `stall_seconds` of pipeline drain + cache warmup to both
+  /// islands.
+  void migrate(std::size_t island_a, std::size_t core_a, std::size_t island_b,
+               std::size_t core_b, double stall_seconds = 0.0);
+
+  /// Upper bound on chip dynamic+leakage power used to express budgets as a
+  /// percentage of "maximum chip power": every core at the top DVFS level,
+  /// full utilization, worst-case workload activity/capacitance.
+  /// (Computed by the power model; stored here at wiring time.)
+  void set_max_power_w(double watts) noexcept { max_power_w_ = watts; }
+  double max_power_w() const noexcept { return max_power_w_; }
+
+ private:
+  CmpConfig config_;
+  std::vector<Island> islands_;
+  MemorySystem memory_;
+  double max_power_w_ = 0.0;
+};
+
+}  // namespace cpm::sim

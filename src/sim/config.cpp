@@ -1,0 +1,38 @@
+#include "sim/config.h"
+
+namespace cpm::sim {
+
+CmpConfig CmpConfig::default_8core() { return CmpConfig{}; }
+
+CmpConfig CmpConfig::scale_16core() {
+  CmpConfig cfg;
+  cfg.num_islands = 4;
+  cfg.cores_per_island = 4;
+  cfg.memory_bandwidth_capacity = 8.0;  // scaled with core count
+  return cfg;
+}
+
+CmpConfig CmpConfig::scale_32core() {
+  CmpConfig cfg;
+  cfg.num_islands = 8;
+  cfg.cores_per_island = 4;
+  cfg.memory_bandwidth_capacity = 16.0;
+  return cfg;
+}
+
+CmpConfig CmpConfig::scale_64core() {
+  CmpConfig cfg;
+  cfg.num_islands = 16;
+  cfg.cores_per_island = 4;
+  cfg.memory_bandwidth_capacity = 32.0;
+  return cfg;
+}
+
+CmpConfig CmpConfig::thermal_8x1() {
+  CmpConfig cfg;
+  cfg.num_islands = 8;
+  cfg.cores_per_island = 1;
+  return cfg;
+}
+
+}  // namespace cpm::sim

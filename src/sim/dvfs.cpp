@@ -1,0 +1,78 @@
+#include "sim/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpm::sim {
+
+const DvfsTable& DvfsTable::pentium_m() {
+  static const DvfsTable table{{
+      {0.956, 0.6},
+      {0.988, 0.8},
+      {1.020, 1.0},
+      {1.052, 1.2},
+      {1.084, 1.4},
+      {1.116, 1.6},
+      {1.164, 1.8},
+      {1.260, 2.0},
+  }};
+  return table;
+}
+
+DvfsTable::DvfsTable(std::vector<DvfsPoint> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("DvfsTable: empty table");
+  std::sort(points_.begin(), points_.end(),
+            [](const DvfsPoint& a, const DvfsPoint& b) {
+              return a.freq_ghz < b.freq_ghz;
+            });
+}
+
+std::size_t DvfsTable::nearest_level(double freq_ghz) const noexcept {
+  std::size_t best = 0;
+  double best_dist = std::abs(points_[0].freq_ghz - freq_ghz);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dist = std::abs(points_[i].freq_ghz - freq_ghz);
+    if (dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+std::size_t DvfsTable::floor_level(double freq_ghz) const noexcept {
+  std::size_t level = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_ghz <= freq_ghz) level = i;
+  }
+  return level;
+}
+
+DvfsActuator::DvfsActuator(const DvfsTable& table, std::size_t initial_level,
+                           double transition_overhead_fraction,
+                           double controller_interval_s)
+    : table_(&table),
+      level_(std::min(initial_level, table.max_level())),
+      transition_stall_s_(transition_overhead_fraction * controller_interval_s) {}
+
+bool DvfsActuator::request_frequency(double freq_ghz) {
+  return set_level(table_->nearest_level(freq_ghz));
+}
+
+bool DvfsActuator::set_level(std::size_t level) {
+  level = std::min(level, table_->max_level());
+  if (level == level_) return false;
+  level_ = level;
+  pending_stall_s_ += transition_stall_s_;
+  ++transitions_;
+  return true;
+}
+
+double DvfsActuator::consume_stall(double dt_seconds) noexcept {
+  const double consumed = std::min(pending_stall_s_, dt_seconds);
+  pending_stall_s_ -= consumed;
+  return consumed;
+}
+
+}  // namespace cpm::sim

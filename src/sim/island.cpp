@@ -1,0 +1,40 @@
+#include "sim/island.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cpm::sim {
+
+Island::Island(std::vector<CoreModel> cores, DvfsActuator actuator)
+    : cores_(std::move(cores)), actuator_(std::move(actuator)) {
+  if (cores_.empty()) throw std::invalid_argument("Island: no cores");
+}
+
+void Island::swap_core_with(Island& other, std::size_t my_idx,
+                            std::size_t other_idx) {
+  if (my_idx >= cores_.size() || other_idx >= other.cores_.size()) {
+    throw std::invalid_argument("Island::swap_core_with: index out of range");
+  }
+  std::swap(cores_[my_idx], other.cores_[other_idx]);
+}
+
+IslandTick Island::step(double dt_seconds, double congestion) {
+  const double stall_fraction =
+      actuator_.consume_stall(dt_seconds) / dt_seconds;
+  const DvfsPoint op = actuator_.operating_point();
+
+  IslandTick tick;
+  tick.cores.reserve(cores_.size());
+  for (auto& core : cores_) {
+    const CoreTick ct = core.step(dt_seconds, op, congestion, stall_fraction);
+    tick.bips += ct.bips;
+    tick.utilization += ct.utilization;
+    tick.instructions += ct.instructions;
+    tick.bandwidth_demand += ct.bandwidth_demand;
+    tick.cores.push_back(ct);
+  }
+  tick.utilization /= static_cast<double>(cores_.size());
+  return tick;
+}
+
+}  // namespace cpm::sim

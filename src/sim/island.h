@@ -1,0 +1,51 @@
+// A voltage/frequency island: a group of cores sharing one DVFS actuator
+// (Fig. 1 of the paper). The island aggregates per-core observations into the
+// quantities the PIC and GPM consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/core.h"
+#include "sim/dvfs.h"
+
+namespace cpm::sim {
+
+/// Aggregated island observation for one tick.
+struct IslandTick {
+  double bips = 0.0;              // summed over cores
+  double utilization = 0.0;       // mean over cores
+  double instructions = 0.0;      // summed
+  double bandwidth_demand = 0.0;  // summed
+  std::vector<CoreTick> cores;    // per-core detail (power/thermal inputs)
+};
+
+class Island {
+ public:
+  Island(std::vector<CoreModel> cores, DvfsActuator actuator);
+
+  /// Advances all cores one tick; the actuator's pending transition stall is
+  /// consumed here and applies island-wide (all cores share the clock).
+  IslandTick step(double dt_seconds, double congestion);
+
+  DvfsActuator& actuator() noexcept { return actuator_; }
+  const DvfsActuator& actuator() const noexcept { return actuator_; }
+  const DvfsPoint& operating_point() const noexcept {
+    return actuator_.operating_point();
+  }
+
+  std::size_t num_cores() const noexcept { return cores_.size(); }
+  const CoreModel& core(std::size_t idx) const noexcept { return cores_[idx]; }
+
+  /// Swaps this island's core `my_idx` with `other`'s core `other_idx`
+  /// (thread migration between islands). The moved threads carry their
+  /// workload state; the islands' DVFS settings stay put.
+  void swap_core_with(Island& other, std::size_t my_idx,
+                      std::size_t other_idx);
+
+ private:
+  std::vector<CoreModel> cores_;
+  DvfsActuator actuator_;
+};
+
+}  // namespace cpm::sim

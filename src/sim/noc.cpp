@@ -1,0 +1,83 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cpm::sim {
+
+MeshNoc::MeshNoc(const NocConfig& config) : config_(config) {
+  if (config_.rows == 0 || config_.cols == 0) {
+    throw std::invalid_argument("MeshNoc: empty mesh");
+  }
+}
+
+std::size_t MeshNoc::hop_distance(std::size_t src,
+                                  std::size_t dst) const noexcept {
+  const std::size_t sr = src / config_.cols, sc = src % config_.cols;
+  const std::size_t dr = dst / config_.cols, dc = dst % config_.cols;
+  const std::size_t dx = sc > dc ? sc - dc : dc - sc;
+  const std::size_t dy = sr > dr ? sr - dr : dr - sr;
+  return dx + dy;
+}
+
+std::size_t MeshNoc::island_crossings(std::size_t src, std::size_t dst,
+                                      std::size_t nodes_per_island)
+    const noexcept {
+  if (nodes_per_island == 0) return 0;
+  // Walk the XY route (X first, then Y) and count island-id changes.
+  std::size_t sr = src / config_.cols, sc = src % config_.cols;
+  const std::size_t dr = dst / config_.cols, dc = dst % config_.cols;
+  std::size_t crossings = 0;
+  std::size_t island = src / nodes_per_island;
+  auto visit = [&](std::size_t node) {
+    const std::size_t node_island = node / nodes_per_island;
+    if (node_island != island) {
+      ++crossings;
+      island = node_island;
+    }
+  };
+  while (sc != dc) {
+    sc += sc < dc ? 1 : std::size_t(-1);
+    visit(sr * config_.cols + sc);
+  }
+  while (sr != dr) {
+    sr += sr < dr ? 1 : std::size_t(-1);
+    visit(sr * config_.cols + sc);
+  }
+  return crossings;
+}
+
+double MeshNoc::latency_cycles(std::size_t src, std::size_t dst,
+                               double network_load,
+                               std::size_t nodes_per_island) const {
+  const double load = std::clamp(network_load, 0.0, 0.95);
+  const double hops = static_cast<double>(hop_distance(src, dst));
+  // M/M/1-style inflation: each router's service time stretches by
+  // 1/(1-rho) under load rho.
+  const double queueing = 1.0 / (1.0 - load);
+  double latency = config_.interface_latency_cycles +
+                   hops * config_.hop_latency_cycles * queueing;
+  if (nodes_per_island > 0) {
+    latency += config_.cdc_penalty_cycles *
+               static_cast<double>(
+                   island_crossings(src, dst, nodes_per_island));
+  }
+  return latency;
+}
+
+double MeshNoc::transfer_energy_pj(std::size_t src, std::size_t dst,
+                                   std::size_t flits) const noexcept {
+  return config_.energy_pj_per_flit_hop *
+         static_cast<double>(hop_distance(src, dst)) *
+         static_cast<double>(flits);
+}
+
+void MeshNoc::record_transfer(std::size_t src, std::size_t dst,
+                              std::size_t flits) {
+  flit_hops_ += hop_distance(src, dst) * flits;
+  energy_pj_ += transfer_energy_pj(src, dst, flits);
+}
+
+}  // namespace cpm::sim

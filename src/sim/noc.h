@@ -1,0 +1,67 @@
+// On-chip mesh interconnect. The paper's CMP (Fig. 1) places the shared
+// last-level cache in banks across the die behind a GALS-friendly
+// interconnect; remote-bank access latency and interconnect energy depend on
+// the Manhattan hop distance, and contended links add queueing delay. This
+// model supplies: XY-routed hop distances, load-dependent latency (M/M/1
+// style), per-hop transfer energy, and the GALS clock-domain-crossing
+// penalty paid when a message crosses voltage/frequency island boundaries
+// (the paper's motivating design style).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cpm::sim {
+
+struct NocConfig {
+  std::size_t rows = 2;
+  std::size_t cols = 4;
+  /// Router + link traversal per hop, cycles.
+  double hop_latency_cycles = 2.0;
+  /// Fixed injection/ejection overhead, cycles.
+  double interface_latency_cycles = 2.0;
+  /// Energy per flit-hop, picojoules.
+  double energy_pj_per_flit_hop = 4.0;
+  /// Synchronizer penalty per island-boundary crossing, cycles (GALS).
+  double cdc_penalty_cycles = 2.0;
+};
+
+class MeshNoc {
+ public:
+  explicit MeshNoc(const NocConfig& config);
+
+  std::size_t num_nodes() const noexcept { return config_.rows * config_.cols; }
+
+  /// Manhattan (XY-routing) hop count between two nodes.
+  std::size_t hop_distance(std::size_t src, std::size_t dst) const noexcept;
+
+  /// Number of island-boundary crossings along the XY route, for nodes
+  /// grouped into islands of `nodes_per_island` consecutive node ids.
+  std::size_t island_crossings(std::size_t src, std::size_t dst,
+                               std::size_t nodes_per_island) const noexcept;
+
+  /// One-way latency in cycles under aggregate `network_load` in [0, 1):
+  /// base hop latency inflated by M/M/1-style queueing, plus interface and
+  /// CDC costs. Saturated loads (>= 1) return the latency at 0.95.
+  double latency_cycles(std::size_t src, std::size_t dst, double network_load,
+                        std::size_t nodes_per_island = 0) const;
+
+  /// Energy of moving `flits` flits from src to dst, picojoules.
+  double transfer_energy_pj(std::size_t src, std::size_t dst,
+                            std::size_t flits) const noexcept;
+
+  /// Cumulative accounting (flit-hops and energy) of every transfer routed
+  /// through record_transfer().
+  void record_transfer(std::size_t src, std::size_t dst, std::size_t flits);
+  std::uint64_t total_flit_hops() const noexcept { return flit_hops_; }
+  double total_energy_pj() const noexcept { return energy_pj_; }
+
+  const NocConfig& config() const noexcept { return config_; }
+
+ private:
+  NocConfig config_;
+  std::uint64_t flit_hops_ = 0;
+  double energy_pj_ = 0.0;
+};
+
+}  // namespace cpm::sim

@@ -1,0 +1,78 @@
+// Cycle-level out-of-order core model: a simplified OoO pipeline (fetch /
+// dispatch into a ROB, latency-typed execution with an issue-width cap,
+// in-order commit, branch-mispredict fetch flushes) in front of the
+// SetAssocCache hierarchy, driven by the synthetic per-benchmark instruction
+// streams of workload/memtrace.h.
+//
+// Role in the reproduction: the paper's controllers consume aggregate
+// (CPI, utilization, memory-stall) behaviour that our fast analytic core
+// model (sim/core.h) provides; this detailed model is the reference that
+// the analytic parameters are validated against (see
+// bench_ablation_core_fidelity and tests/sim/test_pipeline.cpp), playing
+// the part Simics/GEMS's LOPA cores play in the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/cache.h"
+#include "workload/memtrace.h"
+
+namespace cpm::sim {
+
+struct PipelineConfig {
+  std::size_t fetch_width = 4;   // Table I: 4-wide fetch
+  std::size_t issue_width = 2;   // Table I: 2-wide issue
+  std::size_t commit_width = 2;  // Table I: 2-wide commit
+  std::size_t rob_entries = 80;  // Table I register file size
+  double branch_penalty_cycles = 12.0;
+  double int_latency = 1.0;
+  double fp_latency = 3.0;
+  double store_latency = 1.0;  // retire through a write buffer
+  MemoryHierarchy::Config memory{};
+};
+
+/// Aggregate outcome of a run_cycles() call.
+struct PipelineRunStats {
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double commit_busy_cycles = 0.0;  // cycles with >= 1 commit
+  double fetch_stall_cycles = 0.0;  // branch-flush fetch bubbles
+  double rob_full_cycles = 0.0;     // dispatch blocked on a full ROB
+
+  double cpi() const noexcept {
+    return instructions > 0.0 ? cycles / instructions : 0.0;
+  }
+  double utilization() const noexcept {
+    return cycles > 0.0 ? commit_busy_cycles / cycles : 0.0;
+  }
+};
+
+class PipelineCore {
+ public:
+  PipelineCore(const PipelineConfig& config,
+               const workload::MicroArchBehavior& behavior,
+               std::uint64_t seed);
+
+  /// Simulates `cycles` core cycles at frequency `freq_ghz` (memory latency
+  /// is wall-clock, so its cycle cost scales with frequency). `hostility`
+  /// scales the address stream toward cache-hostile behaviour.
+  PipelineRunStats run_cycles(std::uint64_t cycles, double freq_ghz,
+                              double hostility = 1.0);
+
+  const MemoryHierarchy& memory() const noexcept { return memory_; }
+  double total_instructions() const noexcept { return total_instructions_; }
+
+ private:
+  PipelineConfig config_;
+  workload::InstructionStream stream_;
+  MemoryHierarchy memory_;
+
+  /// ROB entries: absolute completion time (in cycles since construction).
+  std::deque<double> rob_;
+  double now_ = 0.0;           // current cycle
+  double fetch_resume_ = 0.0;  // fetch blocked until this cycle
+  double total_instructions_ = 0.0;
+};
+
+}  // namespace cpm::sim

@@ -1,0 +1,43 @@
+#include "thermal/floorplan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpm::thermal {
+
+Floorplan::Floorplan(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  if (rows_ == 0 || cols_ == 0) {
+    throw std::invalid_argument("Floorplan: rows/cols must be positive");
+  }
+  neighbors_.resize(num_cores());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      auto& list = neighbors_[core_at(r, c)];
+      if (r > 0) list.push_back(core_at(r - 1, c));
+      if (r + 1 < rows_) list.push_back(core_at(r + 1, c));
+      if (c > 0) list.push_back(core_at(r, c - 1));
+      if (c + 1 < cols_) list.push_back(core_at(r, c + 1));
+    }
+  }
+}
+
+GridPosition Floorplan::position(std::size_t core) const noexcept {
+  return {core / cols_, core % cols_};
+}
+
+std::size_t Floorplan::core_at(std::size_t row, std::size_t col) const noexcept {
+  return row * cols_ + col;
+}
+
+const std::vector<std::size_t>& Floorplan::neighbors(
+    std::size_t core) const noexcept {
+  return neighbors_[core];
+}
+
+bool Floorplan::adjacent(std::size_t a, std::size_t b) const noexcept {
+  const auto& list = neighbors_[a];
+  return std::find(list.begin(), list.end(), b) != list.end();
+}
+
+}  // namespace cpm::thermal

@@ -1,0 +1,40 @@
+// Chip floorplan: cores laid out on a rectangular grid (paper Fig. 1 / the
+// 8-core arrangement of Fig. 18a). Provides the lateral adjacency the RC
+// thermal model and the thermal-aware GPM policy both consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cpm::thermal {
+
+struct GridPosition {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+class Floorplan {
+ public:
+  /// Cores 0..rows*cols-1 in row-major order.
+  Floorplan(std::size_t rows, std::size_t cols);
+
+  std::size_t num_cores() const noexcept { return rows_ * cols_; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  GridPosition position(std::size_t core) const noexcept;
+  std::size_t core_at(std::size_t row, std::size_t col) const noexcept;
+
+  /// 4-neighbourhood (N/S/E/W) of a core.
+  const std::vector<std::size_t>& neighbors(std::size_t core) const noexcept;
+
+  /// True if the two cores share a grid edge.
+  bool adjacent(std::size_t a, std::size_t b) const noexcept;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+}  // namespace cpm::thermal

@@ -1,0 +1,47 @@
+#include "thermal/hotspot.h"
+
+#include <stdexcept>
+
+namespace cpm::thermal {
+
+HotspotDetector::HotspotDetector(std::size_t num_cores, double threshold_c)
+    : threshold_c_(threshold_c), core_hot_s_(num_cores, 0.0) {
+  if (num_cores == 0) {
+    throw std::invalid_argument("HotspotDetector: need at least one core");
+  }
+}
+
+bool HotspotDetector::record(std::span<const double> temps_c,
+                             double dt_seconds) {
+  if (temps_c.size() != core_hot_s_.size()) {
+    throw std::invalid_argument("HotspotDetector::record: size mismatch");
+  }
+  observed_s_ += dt_seconds;
+  bool any_hot = false;
+  for (std::size_t i = 0; i < temps_c.size(); ++i) {
+    if (temps_c[i] > threshold_c_) {
+      core_hot_s_[i] += dt_seconds;
+      any_hot = true;
+    }
+  }
+  if (any_hot) {
+    hot_s_ += dt_seconds;
+    if (!was_hot_) ++events_;
+  }
+  was_hot_ = any_hot;
+  return any_hot;
+}
+
+double HotspotDetector::hot_fraction() const noexcept {
+  return observed_s_ > 0.0 ? hot_s_ / observed_s_ : 0.0;
+}
+
+void HotspotDetector::reset() {
+  observed_s_ = 0.0;
+  hot_s_ = 0.0;
+  std::fill(core_hot_s_.begin(), core_hot_s_.end(), 0.0);
+  events_ = 0;
+  was_hot_ = false;
+}
+
+}  // namespace cpm::thermal

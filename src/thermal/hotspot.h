@@ -1,0 +1,42 @@
+// Hotspot detection for the thermal-aware study (paper Sec. IV-A): tracks
+// per-core threshold crossings and the fraction of time any core spends above
+// the hotspot temperature.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cpm::thermal {
+
+class HotspotDetector {
+ public:
+  HotspotDetector(std::size_t num_cores, double threshold_c);
+
+  /// Records one sample of duration dt; returns true if any core is hot.
+  bool record(std::span<const double> temps_c, double dt_seconds);
+
+  double threshold_c() const noexcept { return threshold_c_; }
+  /// Total observed time and time with >= 1 hot core.
+  double observed_seconds() const noexcept { return observed_s_; }
+  double hot_seconds() const noexcept { return hot_s_; }
+  /// Fraction of time with at least one hotspot.
+  double hot_fraction() const noexcept;
+  /// Per-core cumulative hot time.
+  const std::vector<double>& core_hot_seconds() const noexcept {
+    return core_hot_s_;
+  }
+  std::size_t events() const noexcept { return events_; }
+
+  void reset();
+
+ private:
+  double threshold_c_;
+  double observed_s_ = 0.0;
+  double hot_s_ = 0.0;
+  std::vector<double> core_hot_s_;
+  std::size_t events_ = 0;  // rising edges of the any-core-hot condition
+  bool was_hot_ = false;
+};
+
+}  // namespace cpm::thermal

@@ -1,0 +1,55 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace cpm::util {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("CPM_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string value{env};
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{parse_env_level()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return threshold_storage().load(); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(level);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[cpm:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace cpm::util

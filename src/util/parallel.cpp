@@ -1,0 +1,13 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace cpm::util {
+
+std::size_t default_thread_count(std::size_t max_threads) noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return std::clamp<std::size_t>(threads, 1, std::max<std::size_t>(1, max_threads));
+}
+
+}  // namespace cpm::util

@@ -1,0 +1,60 @@
+// Deterministic parallel map over an index range. Experiment sweeps
+// (budget curves, scaling studies) run many independent, seeded simulations;
+// this fans them out across hardware threads while keeping results in index
+// order, so parallel and serial execution produce bit-identical output.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cpm::util {
+
+/// Number of worker threads to use: hardware concurrency clamped to
+/// [1, max_threads].
+std::size_t default_thread_count(std::size_t max_threads = 16) noexcept;
+
+/// Applies `fn(i)` for i in [0, count) on up to `threads` workers and
+/// returns the results in index order. `fn` must be safe to call
+/// concurrently for distinct indices. Exceptions thrown by any invocation
+/// are rethrown (the first one encountered) after all workers finish.
+template <typename Result>
+std::vector<Result> parallel_map(
+    std::size_t count, const std::function<Result(std::size_t)>& fn,
+    std::size_t threads = 0) {
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+  const std::size_t workers =
+      std::min(count, threads ? threads : default_thread_count());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count || has_error.load()) break;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        if (!has_error.exchange(true)) first_error = std::current_exception();
+        break;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace cpm::util

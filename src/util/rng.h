@@ -1,0 +1,57 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// All stochasticity in the simulator flows through Xoshiro256pp seeded from a
+// single experiment seed, so identical configurations produce bit-identical
+// traces across runs and platforms (no std::mt19937 distribution portability
+// issues: the distributions here are implemented in-house).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cpm::util {
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style).
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child stream (for per-core RNGs).
+  Xoshiro256pp fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// SplitMix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace cpm::util

@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace cpm::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  IncrementalLinearFit acc;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) acc.add(x[i], y[i]);
+  return acc.fit();
+}
+
+void IncrementalLinearFit::add(double x, double y) noexcept {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  syy_ += y * y;
+}
+
+LinearFit IncrementalLinearFit::fit() const noexcept {
+  LinearFit out;
+  out.n = n_;
+  if (n_ < 2) {
+    out.intercept = n_ == 1 ? sy_ : 0.0;
+    return out;
+  }
+  const double n = static_cast<double>(n_);
+  const double sxx_c = sxx_ - sx_ * sx_ / n;  // centered sums
+  const double sxy_c = sxy_ - sx_ * sy_ / n;
+  const double syy_c = syy_ - sy_ * sy_ / n;
+  if (sxx_c <= 0.0) {
+    out.intercept = sy_ / n;
+    return out;
+  }
+  out.slope = sxy_c / sxx_c;
+  out.intercept = (sy_ - out.slope * sx_) / n;
+  out.r_squared = syy_c > 0.0 ? (sxy_c * sxy_c) / (sxx_c * syy_c) : 1.0;
+  return out;
+}
+
+double Ewma::update(double x) noexcept {
+  value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+  primed_ = true;
+  return value_;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0) / 100.0;
+  const double pos = clamped * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean_abs_error(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += std::abs(a[i] - b[i]);
+  return total / static_cast<double>(n);
+}
+
+double mean_abs_pct_error(std::span<const double> actual,
+                          std::span<const double> reference) {
+  const std::size_t n = std::min(actual.size(), reference.size());
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reference[i] == 0.0) continue;
+    total += std::abs(actual[i] - reference[i]) / std::abs(reference[i]);
+    ++used;
+  }
+  return used ? total / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace cpm::util

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpm::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string AsciiTable::pct(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return ss.str();
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+  write_row(std::vector<std::string>(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace cpm::util

@@ -1,0 +1,47 @@
+// ASCII table and CSV emitters used by the benchmark harness to print
+// paper-style rows/series (one table per figure).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpm::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed precision.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a fully formed row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimal places.
+  static std::string num(double value, int precision = 3);
+  /// Formats a fraction (0.042) as a percentage string ("4.20%").
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting for commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace cpm::util

@@ -1,0 +1,73 @@
+#include "workload/custom.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cpm::workload {
+
+OwnedProfile::OwnedProfile(std::string name, BenchmarkProfile base,
+                           std::vector<Phase> phases)
+    : name_(std::make_unique<std::string>(std::move(name))),
+      phases_(std::move(phases)),
+      profile_(base) {
+  profile_.name = *name_;
+  profile_.short_name = *name_;
+  profile_.phases = phases_;
+  // Trace-driven profiles replay measured durations verbatim.
+  profile_.phase_time_scale = 1.0;
+}
+
+OwnedProfile profile_from_trace(std::string name, BenchmarkProfile base,
+                                const std::vector<DemandSample>& trace) {
+  if (trace.empty()) {
+    throw std::invalid_argument("profile_from_trace: empty trace");
+  }
+  std::vector<Phase> phases;
+  phases.reserve(trace.size());
+  for (const DemandSample& s : trace) {
+    if (s.cpi_mult <= 0.0 || s.mem_mult <= 0.0 || s.activity_mult <= 0.0 ||
+        s.duration_ms <= 0.0) {
+      throw std::invalid_argument(
+          "profile_from_trace: non-positive trace sample");
+    }
+    phases.push_back({s.cpi_mult, s.mem_mult, s.duration_ms, s.activity_mult});
+  }
+  return OwnedProfile(std::move(name), base, std::move(phases));
+}
+
+std::vector<DemandSample> load_demand_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("load_demand_trace_csv: empty input");
+  }
+  if (line.find("cpi_mult") == std::string::npos) {
+    throw std::runtime_error("load_demand_trace_csv: missing header");
+  }
+  std::vector<DemandSample> samples;
+  std::size_t row = 1;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string cell;
+    DemandSample s;
+    double* fields[] = {&s.cpi_mult, &s.mem_mult, &s.activity_mult,
+                        &s.duration_ms};
+    for (double* field : fields) {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("load_demand_trace_csv: short row " +
+                                 std::to_string(row));
+      }
+      try {
+        *field = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("load_demand_trace_csv: bad number '" + cell +
+                                 "' in row " + std::to_string(row));
+      }
+    }
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+}  // namespace cpm::workload

@@ -1,0 +1,56 @@
+// User-defined workload profiles: build a BenchmarkProfile from your own
+// demand trace (e.g. recorded CPI / memory-stall / activity samples from a
+// real system) instead of the built-in synthetic PARSEC set. The trace
+// becomes the profile's phase program, so everything downstream (cores,
+// mixes, the full CPM simulation) runs it unchanged.
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace cpm::workload {
+
+/// A BenchmarkProfile together with the storage its phase span points into.
+/// Move-only: the profile's span tracks the heap buffer, which vector moves
+/// preserve.
+class OwnedProfile {
+ public:
+  OwnedProfile(std::string name, BenchmarkProfile base,
+               std::vector<Phase> phases);
+  OwnedProfile(OwnedProfile&&) noexcept = default;
+  OwnedProfile& operator=(OwnedProfile&&) noexcept = default;
+  OwnedProfile(const OwnedProfile&) = delete;
+  OwnedProfile& operator=(const OwnedProfile&) = delete;
+
+  const BenchmarkProfile& profile() const noexcept { return profile_; }
+
+ private:
+  std::unique_ptr<std::string> name_;  // stable storage for the string_view
+  std::vector<Phase> phases_;
+  BenchmarkProfile profile_;
+};
+
+/// One sample of a recorded demand trace.
+struct DemandSample {
+  double cpi_mult = 1.0;
+  double mem_mult = 1.0;
+  double activity_mult = 1.0;
+  double duration_ms = 1.0;
+};
+
+/// Builds a profile named `name` whose phase program replays `trace`
+/// cyclically on top of `base` (cpi_base, mem_stall_ns, activity, Ceff, ...
+/// taken from `base`). Throws if the trace is empty or non-positive.
+OwnedProfile profile_from_trace(std::string name, BenchmarkProfile base,
+                                const std::vector<DemandSample>& trace);
+
+/// Parses a demand-trace CSV with header
+///   cpi_mult,mem_mult,activity_mult,duration_ms
+/// Throws std::runtime_error on malformed input.
+std::vector<DemandSample> load_demand_trace_csv(std::istream& is);
+
+}  // namespace cpm::workload

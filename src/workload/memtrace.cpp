@@ -1,0 +1,180 @@
+#include "workload/memtrace.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace cpm::workload {
+
+namespace {
+
+struct NamedBehavior {
+  std::string_view name;
+  MicroArchBehavior behavior;
+};
+
+// Mix/stream parameters chosen to land each benchmark's measured CPI and
+// memory-boundness (via the pipeline model) in the regime its analytic
+// profile describes: CPU-bound codes have small working sets that fit L1/L2;
+// memory-bound codes stream/chase beyond the L2.
+constexpr std::array<NamedBehavior, 17> kBehaviors{{
+    {"blackscholes",
+     {{0.25, 0.45, 0.20, 0.05, 0.05},
+      {12, 16, 0.25, 0.05, 0.01, 8},
+      0.01}},
+    {"bodytrack",
+     {{0.30, 0.30, 0.25, 0.08, 0.07},
+      {24, 32, 0.30, 0.08, 0.03, 8},
+      0.03}},
+    {"facesim",
+     {{0.25, 0.30, 0.30, 0.10, 0.05},
+      {2048, 96, 0.35, 0.20, 0.10, 8},
+      0.02}},
+    {"freqmine",
+     {{0.40, 0.05, 0.30, 0.10, 0.15},
+      {64, 48, 0.15, 0.25, 0.04, 8},
+      0.05}},
+    {"x264",
+     {{0.35, 0.20, 0.25, 0.12, 0.08},
+      {48, 32, 0.40, 0.05, 0.03, 8},
+      0.03}},
+    {"vips",
+     {{0.30, 0.15, 0.30, 0.20, 0.05},
+      {4096, 128, 0.50, 0.05, 0.08, 8},
+      0.02}},
+    {"streamcluster",
+     {{0.30, 0.15, 0.35, 0.10, 0.10},
+      {8192, 128, 0.45, 0.10, 0.10, 8},
+      0.02}},
+    {"canneal",
+     {{0.30, 0.05, 0.40, 0.15, 0.10},
+      {16384, 256, 0.05, 0.45, 0.15, 8},
+      0.04}},
+    {"swaptions",
+     {{0.25, 0.50, 0.17, 0.05, 0.03},
+      {8, 16, 0.20, 0.02, 0.01, 8},
+      0.01}},
+    {"raytrace",
+     {{0.30, 0.30, 0.25, 0.05, 0.10},
+      {96, 64, 0.20, 0.30, 0.03, 8},
+      0.04}},
+    {"fluidanimate",
+     {{0.28, 0.27, 0.28, 0.12, 0.05},
+      {1536, 96, 0.45, 0.15, 0.08, 8},
+      0.02}},
+    {"ferret",
+     {{0.32, 0.18, 0.32, 0.08, 0.10},
+      {6144, 128, 0.35, 0.25, 0.10, 8},
+      0.03}},
+    {"dedup",
+     {{0.40, 0.02, 0.33, 0.15, 0.10},
+      {8192, 192, 0.30, 0.30, 0.12, 8},
+      0.04}},
+    // SPEC-like CPU-bound thermal-study applications.
+    {"mesa",
+     {{0.30, 0.35, 0.22, 0.08, 0.05},
+      {16, 16, 0.30, 0.05, 0.01, 8},
+      0.02}},
+    {"bzip",
+     {{0.45, 0.02, 0.30, 0.13, 0.10},
+      {256, 32, 0.35, 0.10, 0.02, 8},
+      0.04}},
+    {"gcc",
+     {{0.42, 0.03, 0.28, 0.12, 0.15},
+      {128, 48, 0.25, 0.20, 0.03, 8},
+      0.06}},
+    {"sixtrack",
+     {{0.25, 0.50, 0.17, 0.05, 0.03},
+      {8, 16, 0.80, 0.02, 0.01, 8},
+      0.01}},
+}};
+
+}  // namespace
+
+const MicroArchBehavior& micro_behavior(std::string_view profile_name) {
+  for (const auto& entry : kBehaviors) {
+    if (entry.name == profile_name) return entry.behavior;
+  }
+  throw std::invalid_argument("micro_behavior: unknown benchmark " +
+                              std::string(profile_name));
+}
+
+AddressStream::AddressStream(const AddressStreamConfig& config,
+                             std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::uint64_t AddressStream::next(double hostility) {
+  const std::uint64_t ws_bytes =
+      static_cast<std::uint64_t>(config_.working_set_kb) * 1024;
+  const std::uint64_t footprint_bytes =
+      static_cast<std::uint64_t>(config_.footprint_mb) * 1024 * 1024;
+
+  // Hostility shifts probability mass toward cold footprint accesses. Cold
+  // traffic can take at most the mass not claimed by the sequential and
+  // chase components, so the mixture's semantics hold at any hostility.
+  const double seq_p = config_.sequential_fraction;
+  const double chase_p = config_.chase_fraction;
+  const double cold_cap = std::max(0.0, 1.0 - seq_p - chase_p);
+  const double cold_p =
+      std::min(cold_cap, config_.cold_fraction * hostility);
+
+  const double roll = rng_.uniform();
+  if (roll < seq_p) {
+    // Streaming through the footprint at sub-line stride: several accesses
+    // share each cache line (spatial locality), but lines are never reused.
+    seq_cursor_ = (seq_cursor_ + config_.stride_bytes) % footprint_bytes;
+    return seq_cursor_;
+  }
+  if (roll < seq_p + chase_p) {
+    // Pointer chase: a dependent pseudo-random walk confined to the hot
+    // working set -- temporal locality iff the working set fits in cache.
+    chase_cursor_ = (chase_cursor_ * 2862933555777941757ULL + 3037000493ULL) %
+                    ws_bytes;
+    return footprint_bytes + (chase_cursor_ & ~std::uint64_t{63});
+  }
+  if (roll < seq_p + chase_p + cold_p) {
+    // Cold access over the whole footprint (cache hostile).
+    return rng_.uniform_int(footprint_bytes) & ~std::uint64_t{63};
+  }
+  // Hot reuse: uniform within the working set (above the footprint so the
+  // hot region never aliases the streaming region).
+  return footprint_bytes + (rng_.uniform_int(ws_bytes) & ~std::uint64_t{7});
+}
+
+InstructionStream::InstructionStream(const MicroArchBehavior& behavior,
+                                     std::uint64_t seed)
+    : behavior_(&behavior), addresses_(behavior.stream, seed ^ 0xADD5ULL),
+      rng_(seed) {}
+
+InstructionStream::Instr InstructionStream::next(double mem_hostility) {
+  Instr instr;
+  const auto& mix = behavior_->mix;
+  const double roll = rng_.uniform();
+  double acc = mix.int_alu;
+  if (roll < acc) {
+    instr.kind = InstrKind::kIntAlu;
+    return instr;
+  }
+  acc += mix.fp_alu;
+  if (roll < acc) {
+    instr.kind = InstrKind::kFpAlu;
+    return instr;
+  }
+  acc += mix.load;
+  if (roll < acc) {
+    instr.kind = InstrKind::kLoad;
+    instr.address = addresses_.next(mem_hostility);
+    return instr;
+  }
+  acc += mix.store;
+  if (roll < acc) {
+    instr.kind = InstrKind::kStore;
+    instr.address = addresses_.next(mem_hostility);
+    return instr;
+  }
+  instr.kind = InstrKind::kBranch;
+  instr.mispredicted = rng_.bernoulli(behavior_->branch_mispredict_rate);
+  return instr;
+}
+
+}  // namespace cpm::workload

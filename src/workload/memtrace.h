@@ -1,0 +1,96 @@
+// Synthetic micro-architectural behaviour per benchmark: instruction mixes
+// and memory address streams. These drive the detailed pipeline+cache model
+// (sim/pipeline.h), which cross-validates the analytic micro-model's
+// per-benchmark CPI / memory-stall parameters -- the same role the paper's
+// Simics/GEMS reference plays for its higher-level analyses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cpm::workload {
+
+enum class InstrKind : std::uint8_t {
+  kIntAlu,
+  kFpAlu,
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+/// Fractions must sum to 1.
+struct InstructionMix {
+  double int_alu = 0.4;
+  double fp_alu = 0.1;
+  double load = 0.3;
+  double store = 0.1;
+  double branch = 0.1;
+};
+
+/// Parameters of the synthetic address stream: a mixture of
+///  * sequential streaming over the footprint (spatial locality: several
+///    accesses per cache line at `stride_bytes` granularity),
+///  * pointer chasing inside the hot working set (temporal locality iff the
+///    working set fits in cache),
+///  * random reuse inside the hot working set (the remainder), and
+///  * cold uniform accesses over the whole footprint (cache hostile).
+struct AddressStreamConfig {
+  std::size_t working_set_kb = 32;   // hot-region size
+  std::size_t footprint_mb = 64;     // cold/streaming-region size
+  double sequential_fraction = 0.3;  // streaming over the footprint
+  double chase_fraction = 0.1;       // dependent walks inside the hot region
+  double cold_fraction = 0.05;       // uniform over the footprint
+  std::size_t stride_bytes = 8;      // streaming stride (sub-line)
+};
+
+struct MicroArchBehavior {
+  InstructionMix mix;
+  AddressStreamConfig stream;
+  double branch_mispredict_rate = 0.03;
+};
+
+/// Behaviour table covering every benchmark in profile.h (PARSEC + the
+/// SPEC-like thermal-study applications). Throws for unknown names.
+const MicroArchBehavior& micro_behavior(std::string_view profile_name);
+
+/// Generates the synthetic address stream.
+class AddressStream {
+ public:
+  AddressStream(const AddressStreamConfig& config, std::uint64_t seed);
+
+  /// Next data address. `hostility` > 1 shifts probability mass from the
+  /// hot working set toward the cold footprint (models memory-intense
+  /// phases); 1.0 is the profile's nominal behaviour.
+  std::uint64_t next(double hostility = 1.0);
+
+ private:
+  AddressStreamConfig config_;
+  util::Xoshiro256pp rng_;
+  std::uint64_t seq_cursor_ = 0;
+  std::uint64_t chase_cursor_ = 0;
+};
+
+/// Draws (kind, address) pairs according to the mix and stream.
+class InstructionStream {
+ public:
+  InstructionStream(const MicroArchBehavior& behavior, std::uint64_t seed);
+
+  struct Instr {
+    InstrKind kind = InstrKind::kIntAlu;
+    std::uint64_t address = 0;  // valid for loads/stores
+    bool mispredicted = false;  // valid for branches
+  };
+
+  Instr next(double mem_hostility = 1.0);
+
+  const MicroArchBehavior& behavior() const noexcept { return *behavior_; }
+
+ private:
+  const MicroArchBehavior* behavior_;
+  AddressStream addresses_;
+  util::Xoshiro256pp rng_;
+};
+
+}  // namespace cpm::workload

@@ -1,0 +1,93 @@
+#include "workload/mixes.h"
+
+#include <stdexcept>
+
+namespace cpm::workload {
+
+namespace {
+
+IslandAssignment island(std::initializer_list<std::string_view> names) {
+  IslandAssignment out;
+  out.reserve(names.size());
+  for (const auto name : names) out.push_back(&find_profile(name));
+  return out;
+}
+
+}  // namespace
+
+std::size_t Mix::total_cores() const noexcept {
+  std::size_t total = 0;
+  for (const auto& isl : islands) total += isl.size();
+  return total;
+}
+
+Mix mix1() {
+  Mix mix;
+  mix.name = "Mix-1";
+  mix.islands = {
+      island({"bschls", "sclust"}),
+      island({"btrack", "fsim"}),
+      island({"fmine", "canneal"}),
+      island({"x264", "vips"}),
+  };
+  return mix;
+}
+
+Mix mix2() {
+  Mix mix;
+  mix.name = "Mix-2";
+  mix.islands = {
+      island({"bschls", "btrack"}),
+      island({"sclust", "fsim"}),
+      island({"fmine", "x264"}),
+      island({"canneal", "vips"}),
+  };
+  return mix;
+}
+
+Mix mix3(int replicate) {
+  if (replicate < 1) throw std::invalid_argument("mix3: replicate must be >= 1");
+  Mix mix;
+  mix.name = replicate == 1 ? "Mix-3 (16-core)" : "Mix-3 (32-core)";
+  for (int r = 0; r < replicate; ++r) {
+    mix.islands.push_back(island({"bschls", "btrack", "fmine", "x264"}));
+    mix.islands.push_back(island({"sclust", "fsim", "canneal", "vips"}));
+    mix.islands.push_back(island({"bschls", "btrack", "fmine", "x264"}));
+    mix.islands.push_back(island({"sclust", "fsim", "canneal", "vips"}));
+  }
+  return mix;
+}
+
+Mix thermal_mix() {
+  Mix mix;
+  mix.name = "Thermal (8x1)";
+  for (const auto name :
+       {"mesa", "bzip", "gcc", "sixtrack", "mesa", "bzip", "gcc", "sixtrack"}) {
+    mix.islands.push_back(island({name}));
+  }
+  return mix;
+}
+
+Mix mix1_regrouped(std::size_t cores_per_island) {
+  // Flatten Mix-1 in island order, then re-chunk. Keeps each C/M pairing
+  // adjacent so the 2-core grouping equals Mix-1 exactly.
+  const Mix base = mix1();
+  std::vector<const BenchmarkProfile*> flat;
+  for (const auto& isl : base.islands) {
+    flat.insert(flat.end(), isl.begin(), isl.end());
+  }
+  if (cores_per_island == 0 || flat.size() % cores_per_island != 0) {
+    throw std::invalid_argument(
+        "mix1_regrouped: cores_per_island must divide 8");
+  }
+  Mix mix;
+  mix.name = "Mix-1 regrouped";
+  for (std::size_t start = 0; start < flat.size(); start += cores_per_island) {
+    mix.islands.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(start),
+                             flat.begin() +
+                                 static_cast<std::ptrdiff_t>(start + cores_per_island));
+  }
+  return mix;
+}
+
+}  // namespace cpm::workload

@@ -1,0 +1,48 @@
+// The application mixes and island assignments of paper Table III:
+//   Mix-1 (8-core, 2 cores/island): each island pairs one CPU-bound with one
+//          memory-bound benchmark.
+//   Mix-2 (8-core): islands are homogeneous (C,C / M,M / C,C / M,M).
+//   Mix-3 (16/32-core, 4 cores/island): all-C and all-M islands, replicated
+//          twice for 32 cores.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace cpm::workload {
+
+/// One island's application list (one entry per core).
+using IslandAssignment = std::vector<const BenchmarkProfile*>;
+
+struct Mix {
+  std::string_view name;
+  std::vector<IslandAssignment> islands;
+
+  std::size_t num_islands() const noexcept { return islands.size(); }
+  std::size_t cores_per_island() const noexcept {
+    return islands.empty() ? 0 : islands.front().size();
+  }
+  std::size_t total_cores() const noexcept;
+};
+
+/// Table III(a): {bschls,sclust} {btrack,fsim} {fmine,canneal} {x264,vips}.
+Mix mix1();
+/// Table III(b): {bschls,btrack} {sclust,fsim} {fmine,x264} {canneal,vips}.
+Mix mix2();
+/// Table III(c) for 16 cores (4 islands x 4 cores); pass replicate=2 for the
+/// 32-core configuration (8 islands).
+Mix mix3(int replicate = 1);
+
+/// Thermal-study assignment (Fig. 18a): 8 islands x 1 core running
+/// mesa, bzip, gcc, sixtrack, mesa, bzip, gcc, sixtrack.
+Mix thermal_mix();
+
+/// Re-groups Mix-1's application list into `cores_per_island`-sized islands
+/// (used by the island-size sensitivity study, Fig. 13: 1/2/4 cores per
+/// island over the same 8 applications).
+Mix mix1_regrouped(std::size_t cores_per_island);
+
+}  // namespace cpm::workload

@@ -1,0 +1,71 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::workload {
+
+WorkloadInstance::WorkloadInstance(const BenchmarkProfile& profile,
+                                   std::uint64_t seed, double phase_offset_ms)
+    : profile_(&profile), rng_(seed) {
+  advance_clock(std::max(0.0, phase_offset_ms));
+}
+
+void WorkloadInstance::advance_clock(double dt_ms) noexcept {
+  const auto& phases = profile_->phases;
+  if (phases.empty()) return;
+  const double scale = profile_->phase_time_scale;
+  time_in_phase_ms_ += dt_ms;
+  while (time_in_phase_ms_ >= phases[phase_index_].duration_ms * scale) {
+    time_in_phase_ms_ -= phases[phase_index_].duration_ms * scale;
+    phase_index_ = (phase_index_ + 1) % phases.size();
+  }
+}
+
+Demand WorkloadInstance::peek() const noexcept {
+  Phase phase{};
+  if (!profile_->phases.empty()) {
+    phase = profile_->phases[phase_index_];
+    // Ramp in from the previous phase over the first kRampFraction of this
+    // phase's duration.
+    const double duration_ms =
+        phase.duration_ms * profile_->phase_time_scale;
+    const double ramp_ms = kRampFraction * duration_ms;
+    if (time_in_phase_ms_ < ramp_ms && profile_->phases.size() > 1) {
+      const Phase& prev =
+          profile_->phases[(phase_index_ + profile_->phases.size() - 1) %
+                           profile_->phases.size()];
+      const double w = time_in_phase_ms_ / ramp_ms;  // 0 -> prev, 1 -> cur
+      phase.cpi_mult = prev.cpi_mult + w * (phase.cpi_mult - prev.cpi_mult);
+      phase.mem_mult = prev.mem_mult + w * (phase.mem_mult - prev.mem_mult);
+      phase.activity_mult =
+          prev.activity_mult + w * (phase.activity_mult - prev.activity_mult);
+    }
+  }
+  Demand d;
+  d.cpi = profile_->cpi_base * phase.cpi_mult;
+  d.mem_stall_ns = profile_->mem_stall_ns * phase.mem_mult;
+  d.activity = profile_->activity_active * phase.activity_mult;
+  d.bandwidth_demand = profile_->bandwidth_demand * phase.mem_mult;
+  return d;
+}
+
+Demand WorkloadInstance::step(double dt_seconds) {
+  advance_clock(dt_seconds * 1e3);
+  Demand d = peek();
+  // Multiplicative log-normal-ish noise, clamped so pathological draws cannot
+  // produce non-physical demand.
+  const double sigma = profile_->noise_sigma;
+  if (sigma > 0.0) {
+    const double n1 = std::clamp(1.0 + sigma * rng_.normal(), 0.5, 1.5);
+    const double n2 = std::clamp(1.0 + sigma * rng_.normal(), 0.5, 1.5);
+    const double n3 = std::clamp(1.0 + 0.5 * sigma * rng_.normal(), 0.7, 1.3);
+    d.cpi *= n1;
+    d.mem_stall_ns *= n2;
+    d.activity = std::clamp(d.activity * n3, 0.05, 1.2);
+    d.bandwidth_demand *= n2;
+  }
+  return d;
+}
+
+}  // namespace cpm::workload

@@ -1,0 +1,51 @@
+// A running instance of a benchmark profile on one core: tracks the phase
+// clock and per-tick noise, and exposes the instantaneous micro-model inputs
+// (effective CPI, memory stall, activity). Deterministic for a given seed.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+#include "workload/profile.h"
+
+namespace cpm::workload {
+
+/// Instantaneous workload demand sampled by the core model each tick.
+struct Demand {
+  double cpi = 1.0;           // effective core cycles/instruction
+  double mem_stall_ns = 0.0;  // effective memory stall ns/instruction
+  double activity = 1.0;      // switching activity while active
+  double bandwidth_demand = 0.0;
+};
+
+class WorkloadInstance {
+ public:
+  /// `phase_offset_ms` desynchronizes identical profiles on different cores
+  /// (the paper schedules the same benchmark on several islands in Mix-3).
+  WorkloadInstance(const BenchmarkProfile& profile, std::uint64_t seed,
+                   double phase_offset_ms = 0.0);
+
+  /// Advances the phase clock by dt seconds and samples the demand.
+  Demand step(double dt_seconds);
+
+  /// Demand with the current phase but no fresh noise (for inspection).
+  Demand peek() const noexcept;
+
+  const BenchmarkProfile& profile() const noexcept { return *profile_; }
+  std::size_t phase_index() const noexcept { return phase_index_; }
+
+ private:
+  void advance_clock(double dt_ms) noexcept;
+
+  const BenchmarkProfile* profile_;
+  util::Xoshiro256pp rng_;
+  std::size_t phase_index_ = 0;
+  double time_in_phase_ms_ = 0.0;
+
+  /// Fraction of each phase spent ramping from the previous phase's
+  /// multipliers (smooth transitions: real applications shift demand over
+  /// milliseconds, not instantaneously between two 100 us ticks).
+  static constexpr double kRampFraction = 0.3;
+};
+
+}  // namespace cpm::workload

@@ -1,0 +1,119 @@
+#include "control/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/stability.h"
+
+namespace cpm::control {
+namespace {
+
+TEST(Jury, SimpleStableAndUnstable) {
+  // z - 0.5: root at 0.5 -> stable.
+  EXPECT_TRUE(jury_stable(Polynomial({-0.5, 1.0})));
+  // z - 1.5: root outside.
+  EXPECT_FALSE(jury_stable(Polynomial({-1.5, 1.0})));
+  // z + 1: root on the circle -> not strictly stable.
+  EXPECT_FALSE(jury_stable(Polynomial({1.0, 1.0})));
+}
+
+TEST(Jury, ConstantIsTriviallyStable) {
+  EXPECT_TRUE(jury_stable(Polynomial({3.0})));
+}
+
+TEST(Jury, MatchesRootFinderOnCpmLoop) {
+  // Cross-validate the algebraic test against the Durand-Kerner analysis on
+  // the paper's loop over a gain sweep.
+  for (double a = 0.1; a < 3.0; a += 0.1) {
+    const auto cl = cpm_closed_loop(a, PidGains{});
+    const bool by_roots = analyze_stability(cl).stable;
+    const bool by_jury = jury_stable(cl.denominator());
+    EXPECT_EQ(by_roots, by_jury) << "a = " << a;
+  }
+}
+
+TEST(Jury, QuadraticKnownRegion) {
+  // z^2 + b z + c stable iff |c| < 1, |b| < 1 + c.
+  auto stable = [](double b, double c) {
+    return jury_stable(Polynomial({c, b, 1.0}));
+  };
+  EXPECT_TRUE(stable(0.0, 0.5));
+  EXPECT_TRUE(stable(1.2, 0.5));
+  EXPECT_FALSE(stable(1.6, 0.5));   // |b| > 1 + c
+  EXPECT_FALSE(stable(0.0, 1.1));   // |c| > 1
+  EXPECT_TRUE(stable(-1.4, 0.45));
+}
+
+TEST(FrequencyResponse, MagnitudeOfKnownSystem) {
+  // H(z) = 1/(z - 0.5): |H(e^{jw})| = 1/|e^{jw} - 0.5|.
+  const auto h = TransferFunction(Polynomial({1.0}), Polynomial({-0.5, 1.0}));
+  const auto resp = frequency_response(h, 50);
+  ASSERT_EQ(resp.size(), 50u);
+  for (const auto& pt : resp) {
+    const std::complex<double> z = std::polar(1.0, pt.omega);
+    EXPECT_NEAR(pt.magnitude, 1.0 / std::abs(z - 0.5), 1e-9);
+  }
+}
+
+TEST(FrequencyResponse, DbConversion) {
+  const auto h = TransferFunction(Polynomial({10.0}), Polynomial({1.0}));
+  const auto resp = frequency_response(h, 10);
+  for (const auto& pt : resp) {
+    EXPECT_NEAR(pt.magnitude_db, 20.0, 1e-9);
+  }
+}
+
+TEST(FrequencyResponse, PhaseIsUnwrapped) {
+  // A double integrator-ish system sweeps phase smoothly; unwrapped phase
+  // must never jump by ~2 pi between adjacent samples.
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(0.79));
+  const auto resp = frequency_response(l, 500);
+  for (std::size_t i = 1; i < resp.size(); ++i) {
+    EXPECT_LT(std::abs(resp[i].phase_rad - resp[i - 1].phase_rad), 3.0);
+  }
+}
+
+TEST(Margins, CpmLoopGainMarginMatchesGMax) {
+  // The open loop's gain margin must equal the g_max found by pole search
+  // (~2.11): both measure how much loop gain fits before instability.
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(0.79));
+  const StabilityMargins m = stability_margins(l, 20000);
+  ASSERT_TRUE(m.gain_margin.has_value());
+  EXPECT_NEAR(*m.gain_margin, stable_gain_upper_bound(0.79, PidGains{}), 0.05);
+}
+
+TEST(Margins, StableLoopHasPositivePhaseMargin) {
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(0.79));
+  const StabilityMargins m = stability_margins(l);
+  ASSERT_TRUE(m.phase_margin_rad.has_value());
+  EXPECT_GT(*m.phase_margin_rad, 0.0);
+}
+
+TEST(RootLocus, PolesMoveWithGain) {
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(1.0));
+  const auto locus = root_locus(l, {0.1, 0.79, 1.5, 2.5});
+  ASSERT_EQ(locus.size(), 4u);
+  // Low gain: all poles inside; very high gain: at least one outside.
+  auto max_mag = [](const std::vector<std::complex<double>>& poles) {
+    double m = 0.0;
+    for (const auto& p : poles) m = std::max(m, std::abs(p));
+    return m;
+  };
+  EXPECT_LT(max_mag(locus[1]), 1.0);  // the paper's design point
+  EXPECT_GT(max_mag(locus[3]), 1.0);  // beyond g_max * a
+}
+
+TEST(RootLocus, GainZeroGivesOpenLoopPoles) {
+  const auto l = TransferFunction::integrator_plant(1.0);
+  const auto locus = root_locus(l, {0.0});
+  ASSERT_EQ(locus[0].size(), 1u);
+  EXPECT_NEAR(locus[0][0].real(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,85 @@
+#include "control/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cpm::control {
+namespace {
+
+TEST(Observer, FirstSampleTrustsMeasurement) {
+  ScalarObserver obs(1.0, 0.3);
+  EXPECT_FALSE(obs.primed());
+  EXPECT_DOUBLE_EQ(obs.update(0.0, 7.5), 7.5);
+  EXPECT_TRUE(obs.primed());
+}
+
+TEST(Observer, GainOneIsPassthrough) {
+  ScalarObserver obs(2.0, 1.0);
+  obs.update(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(obs.update(1.0, 9.9), 9.9);
+  EXPECT_DOUBLE_EQ(obs.update(-1.0, 3.3), 3.3);
+}
+
+TEST(Observer, TracksPlantExactlyWithoutNoise) {
+  // x(t+1) = x + 2u, clean measurements: estimate == truth regardless of L.
+  ScalarObserver obs(2.0, 0.2);
+  double x = 10.0;
+  obs.update(0.0, x);
+  util::Xoshiro256pp rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.uniform(-0.5, 0.5);
+    x += 2.0 * u;
+    EXPECT_NEAR(obs.update(u, x), x, 1e-9);
+  }
+}
+
+TEST(Observer, ReducesMeasurementNoiseVariance) {
+  util::Xoshiro256pp rng(5);
+  ScalarObserver obs(1.5, 0.25);
+  double x = 20.0;
+  obs.update(0.0, x);
+  util::RunningStats raw_err, filt_err;
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform(-0.2, 0.2);
+    x += 1.5 * u;
+    const double y = x + rng.normal(0.0, 1.0);
+    const double est = obs.update(u, y);
+    raw_err.add(y - x);
+    filt_err.add(est - x);
+  }
+  EXPECT_LT(filt_err.stddev(), raw_err.stddev() * 0.55);
+  EXPECT_NEAR(filt_err.mean(), 0.0, 0.1);  // unbiased
+}
+
+TEST(Observer, ConvergesAfterUnmodeledStep) {
+  // A demand shift the model does not know about (x jumps with u = 0): the
+  // estimate must converge at rate (1 - L)^t.
+  ScalarObserver obs(1.0, 0.3);
+  obs.update(0.0, 10.0);
+  const double x = 20.0;  // sudden jump
+  double est = 0.0;
+  for (int i = 0; i < 30; ++i) est = obs.update(0.0, x);
+  EXPECT_NEAR(est, x, 0.01);
+}
+
+TEST(Observer, ResetClearsState) {
+  ScalarObserver obs(1.0, 0.5);
+  obs.update(0.0, 5.0);
+  obs.reset();
+  EXPECT_FALSE(obs.primed());
+  EXPECT_DOUBLE_EQ(obs.update(0.0, 1.0), 1.0);
+}
+
+TEST(Observer, GainClamped) {
+  // Absurd gains are clamped into (0, 1]; behaviour stays sane.
+  ScalarObserver hi(1.0, 5.0);
+  hi.update(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(hi.update(0.0, 2.0), 2.0);  // clamped to 1: passthrough
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,104 @@
+#include "control/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+namespace cpm::control {
+namespace {
+
+TEST(Polynomial, ZeroPolynomial) {
+  Polynomial p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_EQ(p.evaluate(5.0), 0.0);
+  EXPECT_EQ(p.leading_coeff(), 0.0);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1u);
+  EXPECT_EQ(p.coeff(1), 2.0);
+  EXPECT_EQ(p.coeff(3), 0.0);
+}
+
+TEST(Polynomial, Evaluate) {
+  // p(z) = 1 - 2z + z^2 = (z-1)^2
+  Polynomial p({1.0, -2.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.evaluate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.evaluate(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.evaluate(0.0), 1.0);
+}
+
+TEST(Polynomial, EvaluateComplex) {
+  // p(z) = z^2 + 1 has roots +/- i.
+  Polynomial p({1.0, 0.0, 1.0});
+  const std::complex<double> i(0.0, 1.0);
+  EXPECT_NEAR(std::abs(p.evaluate(i)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(p.evaluate(-i)), 0.0, 1e-12);
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial a({1.0, 1.0});        // 1 + z
+  Polynomial b({-1.0, 1.0});       // -1 + z
+  EXPECT_TRUE((a + b).approx_equal(Polynomial({0.0, 2.0})));
+  EXPECT_TRUE((a - b).approx_equal(Polynomial({2.0})));
+  EXPECT_TRUE((a * b).approx_equal(Polynomial({-1.0, 0.0, 1.0})));  // z^2-1
+  EXPECT_TRUE((a * 3.0).approx_equal(Polynomial({3.0, 3.0})));
+  EXPECT_TRUE((3.0 * a).approx_equal(Polynomial({3.0, 3.0})));
+}
+
+TEST(Polynomial, AdditionCancelsDegree) {
+  Polynomial a({0.0, 0.0, 1.0});
+  Polynomial b({0.0, 0.0, -1.0});
+  EXPECT_TRUE((a + b).is_zero());
+}
+
+TEST(Polynomial, MultiplyByZero) {
+  Polynomial a({1.0, 2.0, 3.0});
+  EXPECT_TRUE((a * Polynomial{}).is_zero());
+}
+
+TEST(Polynomial, Derivative) {
+  // d/dz (1 + 2z + 3z^2) = 2 + 6z
+  Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_TRUE(p.derivative().approx_equal(Polynomial({2.0, 6.0})));
+  EXPECT_TRUE(Polynomial({5.0}).derivative().is_zero());
+}
+
+TEST(Polynomial, Monomial) {
+  const Polynomial z3 = Polynomial::monomial(3, 2.0);
+  EXPECT_EQ(z3.degree(), 3u);
+  EXPECT_DOUBLE_EQ(z3.evaluate(2.0), 16.0);
+}
+
+TEST(Polynomial, FromRealRoots) {
+  const std::vector<std::complex<double>> roots{{1.0, 0.0}, {-2.0, 0.0}};
+  const Polynomial p = Polynomial::from_roots(roots);
+  // (z-1)(z+2) = z^2 + z - 2
+  EXPECT_TRUE(p.approx_equal(Polynomial({-2.0, 1.0, 1.0})));
+}
+
+TEST(Polynomial, FromConjugateRoots) {
+  const std::vector<std::complex<double>> roots{{0.5, 0.5}, {0.5, -0.5}};
+  const Polynomial p = Polynomial::from_roots(roots);
+  // (z - (0.5+0.5i))(z - (0.5-0.5i)) = z^2 - z + 0.5
+  EXPECT_TRUE(p.approx_equal(Polynomial({0.5, -1.0, 1.0}), 1e-12));
+}
+
+TEST(Polynomial, ApproxEqualTolerance) {
+  Polynomial a({1.0, 2.0});
+  Polynomial b({1.0 + 1e-12, 2.0 - 1e-12});
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  EXPECT_FALSE(a.approx_equal(Polynomial({1.1, 2.0}), 1e-9));
+}
+
+TEST(Polynomial, ConstantFactory) {
+  const Polynomial c = Polynomial::constant(4.2);
+  EXPECT_EQ(c.degree(), 0u);
+  EXPECT_DOUBLE_EQ(c.evaluate(100.0), 4.2);
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,70 @@
+#include "control/response.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpm::control {
+namespace {
+
+TEST(StepMetrics, EmptySeries) {
+  const StepResponseMetrics m = step_metrics({}, 1.0);
+  EXPECT_EQ(m.max_overshoot, 0.0);
+  EXPECT_EQ(m.settling_time, 0u);
+}
+
+TEST(StepMetrics, PerfectStep) {
+  const std::vector<double> y(20, 10.0);
+  const StepResponseMetrics m = step_metrics(y, 10.0);
+  EXPECT_DOUBLE_EQ(m.max_overshoot, 0.0);
+  EXPECT_EQ(m.settling_time, 0u);
+  EXPECT_TRUE(m.settled);
+  EXPECT_NEAR(m.steady_state_error, 0.0, 1e-12);
+}
+
+TEST(StepMetrics, OvershootMeasuredInStepUnits) {
+  // Step 0 -> 10, peak 12: overshoot = 2/10 = 20 %.
+  std::vector<double> y{2, 6, 12, 10.1, 10.0, 10.0, 10.0, 10.0};
+  const StepResponseMetrics m = step_metrics(y, 10.0);
+  EXPECT_NEAR(m.max_overshoot, 0.2, 1e-12);
+}
+
+TEST(StepMetrics, DownwardStepOvershoot) {
+  // From 10 down to 4, undershoot to 3: overshoot = 1/6.
+  std::vector<double> y{8, 5, 3, 4, 4, 4, 4, 4};
+  const StepResponseMetrics m = step_metrics(y, 4.0, /*initial=*/10.0);
+  EXPECT_NEAR(m.max_overshoot, 1.0 / 6.0, 1e-12);
+}
+
+TEST(StepMetrics, SettlingTime) {
+  // Leaves the 2 % band until index 3; settles from index 4 on.
+  std::vector<double> y{0, 5, 9, 9.5, 10.0, 10.05, 9.95, 10.0, 10.0, 10.0};
+  const StepResponseMetrics m = step_metrics(y, 10.0);
+  EXPECT_TRUE(m.settled);
+  EXPECT_EQ(m.settling_time, 4u);
+}
+
+TEST(StepMetrics, NeverSettles) {
+  std::vector<double> y{0, 20, 0, 20, 0, 20, 0, 20};
+  const StepResponseMetrics m = step_metrics(y, 10.0);
+  EXPECT_FALSE(m.settled);
+  EXPECT_EQ(m.settling_time, y.size());
+}
+
+TEST(StepMetrics, SteadyStateErrorFromTail) {
+  // Converges to 9.5 against reference 10: ss error 5 % of the step.
+  std::vector<double> y(40, 9.5);
+  const StepResponseMetrics m = step_metrics(y, 10.0);
+  EXPECT_NEAR(m.steady_state_error, 0.05, 1e-12);
+}
+
+TEST(StepMetrics, CustomBand) {
+  std::vector<double> y{0, 9.0, 9.0, 9.0};
+  StepMetricsOptions opt;
+  opt.settling_band = 0.15;  // 9.0 is inside a 15 % band around 10
+  const StepResponseMetrics m = step_metrics(y, 10.0, 0.0, opt);
+  EXPECT_EQ(m.settling_time, 1u);
+}
+
+}  // namespace
+}  // namespace cpm::control

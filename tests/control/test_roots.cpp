@@ -1,0 +1,109 @@
+#include "control/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+namespace cpm::control {
+namespace {
+
+void expect_contains_root(const std::vector<std::complex<double>>& roots,
+                          std::complex<double> expected, double tol = 1e-8) {
+  const bool found = std::any_of(roots.begin(), roots.end(), [&](auto r) {
+    return std::abs(r - expected) < tol;
+  });
+  EXPECT_TRUE(found) << "missing root (" << expected.real() << ","
+                     << expected.imag() << ")";
+}
+
+TEST(Roots, ConstantHasNoRoots) {
+  EXPECT_TRUE(find_roots(Polynomial({3.0})).empty());
+  EXPECT_TRUE(find_roots(Polynomial{}).empty());
+}
+
+TEST(Roots, Linear) {
+  // 2z - 4 = 0 -> z = 2
+  const auto roots = find_roots(Polynomial({-4.0, 2.0}));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 2.0, 1e-10);
+  EXPECT_NEAR(roots[0].imag(), 0.0, 1e-10);
+}
+
+TEST(Roots, QuadraticRealRoots) {
+  // (z-1)(z-3) = z^2 -4z + 3
+  const auto roots = find_roots(Polynomial({3.0, -4.0, 1.0}));
+  ASSERT_EQ(roots.size(), 2u);
+  expect_contains_root(roots, {1.0, 0.0});
+  expect_contains_root(roots, {3.0, 0.0});
+}
+
+TEST(Roots, QuadraticComplexPair) {
+  // z^2 + 1 -> +/- i
+  const auto roots = find_roots(Polynomial({1.0, 0.0, 1.0}));
+  ASSERT_EQ(roots.size(), 2u);
+  expect_contains_root(roots, {0.0, 1.0});
+  expect_contains_root(roots, {0.0, -1.0});
+}
+
+TEST(Roots, CubicMixed) {
+  // (z-2)(z^2 + z + 1): complex pair at -1/2 +/- sqrt(3)/2 i
+  const Polynomial p = Polynomial({-2.0, 1.0}) * Polynomial({1.0, 1.0, 1.0});
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 3u);
+  expect_contains_root(roots, {2.0, 0.0});
+  expect_contains_root(roots, {-0.5, std::sqrt(3.0) / 2.0});
+  expect_contains_root(roots, {-0.5, -std::sqrt(3.0) / 2.0});
+}
+
+TEST(Roots, RepeatedRoot) {
+  // (z-1)^3
+  const Polynomial p({-1.0, 3.0, -3.0, 1.0});
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 3u);
+  for (const auto& r : roots) {
+    EXPECT_NEAR(std::abs(r - std::complex<double>(1.0, 0.0)), 0.0, 1e-4);
+  }
+}
+
+TEST(Roots, DegreeSixFromKnownRoots) {
+  const std::vector<std::complex<double>> expected{
+      {0.5, 0.0}, {-0.3, 0.0},  {2.0, 0.0},
+      {0.1, 0.9}, {0.1, -0.9},  {-1.5, 0.0}};
+  const Polynomial p = Polynomial::from_roots(expected);
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 6u);
+  for (const auto& e : expected) expect_contains_root(roots, e, 1e-7);
+}
+
+TEST(Roots, NonMonicLeadingCoefficient) {
+  // 4(z-0.5)(z+0.5) = 4z^2 - 1
+  const auto roots = find_roots(Polynomial({-1.0, 0.0, 4.0}));
+  ASSERT_EQ(roots.size(), 2u);
+  expect_contains_root(roots, {0.5, 0.0});
+  expect_contains_root(roots, {-0.5, 0.0});
+}
+
+TEST(Roots, SortedDeterministically) {
+  const Polynomial p = Polynomial::from_roots(std::vector<std::complex<double>>{
+      {3.0, 0.0}, {-1.0, 0.0}, {1.0, 0.0}});
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_LT(roots[0].real(), roots[1].real());
+  EXPECT_LT(roots[1].real(), roots[2].real());
+}
+
+TEST(SpectralRadius, MatchesLargestRoot) {
+  // roots at 0.5 and -2 -> radius 2
+  const Polynomial p = Polynomial::from_roots(std::vector<std::complex<double>>{
+      {0.5, 0.0}, {-2.0, 0.0}});
+  EXPECT_NEAR(spectral_radius(p), 2.0, 1e-8);
+}
+
+TEST(SpectralRadius, ZeroForConstant) {
+  EXPECT_EQ(spectral_radius(Polynomial({1.0})), 0.0);
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,84 @@
+#include "control/state_space.h"
+
+#include <gtest/gtest.h>
+
+#include "control/roots.h"
+#include "control/stability.h"
+
+namespace cpm::control {
+namespace {
+
+TEST(StateSpace, RejectsImproperSystem) {
+  const TransferFunction improper(Polynomial({0.0, 0.0, 1.0}),
+                                  Polynomial({1.0, 1.0}));
+  EXPECT_THROW(StateSpace::from_transfer_function(improper),
+               std::invalid_argument);
+}
+
+TEST(StateSpace, RejectsDimensionMismatch) {
+  EXPECT_THROW(StateSpace({{0.0}}, {1.0, 2.0}, {1.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(StateSpace({{0.0, 1.0}}, {1.0}, {1.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(StateSpace, FirstOrderMatchesTransferFunction) {
+  // H(z) = 1/(z - 0.5)
+  const TransferFunction h(Polynomial({1.0}), Polynomial({-0.5, 1.0}));
+  const StateSpace ss = StateSpace::from_transfer_function(h);
+  EXPECT_EQ(ss.order(), 1u);
+  const std::vector<double> u{1, 0, 0, 0, 0, 0};
+  const auto y_tf = h.simulate(u);
+  const auto y_ss = ss.simulate(u);
+  ASSERT_EQ(y_tf.size(), y_ss.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(y_ss[i], y_tf[i], 1e-12) << i;
+  }
+}
+
+TEST(StateSpace, DirectFeedthrough) {
+  // H(z) = (2z + 1)/(z + 0.5): D = 2.
+  const TransferFunction h(Polynomial({1.0, 2.0}), Polynomial({0.5, 1.0}));
+  const StateSpace ss = StateSpace::from_transfer_function(h);
+  EXPECT_DOUBLE_EQ(ss.d(), 2.0);
+  const auto y = ss.simulate({1.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);  // immediate response through D
+}
+
+TEST(StateSpace, CpmClosedLoopStepMatchesTf) {
+  const TransferFunction cl = cpm_closed_loop(0.79, PidGains{});
+  const StateSpace ss = StateSpace::from_transfer_function(cl);
+  EXPECT_EQ(ss.order(), cl.denominator().degree());
+  const std::vector<double> step_in(40, 1.0);
+  const auto y_tf = cl.simulate(step_in);
+  const auto y_ss = ss.simulate(step_in);
+  for (std::size_t i = 0; i < step_in.size(); ++i) {
+    EXPECT_NEAR(y_ss[i], y_tf[i], 1e-9) << i;
+  }
+}
+
+TEST(StateSpace, CharacteristicPolynomialMatchesDenominator) {
+  const TransferFunction cl = cpm_closed_loop(0.79, PidGains{});
+  const StateSpace ss = StateSpace::from_transfer_function(cl);
+  // Same roots as the (monic-normalized) denominator.
+  const auto ss_poles = find_roots(ss.characteristic_polynomial());
+  const auto tf_poles = cl.poles();
+  ASSERT_EQ(ss_poles.size(), tf_poles.size());
+  for (std::size_t i = 0; i < ss_poles.size(); ++i) {
+    EXPECT_NEAR(std::abs(ss_poles[i] - tf_poles[i]), 0.0, 1e-7);
+  }
+}
+
+TEST(StateSpace, StepApiAdvancesState) {
+  const TransferFunction h(Polynomial({1.0}), Polynomial({-0.5, 1.0}));
+  const StateSpace ss = StateSpace::from_transfer_function(h);
+  std::vector<double> state(1, 0.0);
+  EXPECT_DOUBLE_EQ(ss.step(1.0, state), 0.0);  // no feedthrough
+  EXPECT_DOUBLE_EQ(ss.step(0.0, state), 1.0);  // delayed input arrives
+  EXPECT_DOUBLE_EQ(ss.step(0.0, state), 0.5);  // decays by the pole
+  std::vector<double> bad_state(3, 0.0);
+  EXPECT_THROW(ss.step(0.0, bad_state), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,92 @@
+#include "control/system_id.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpm::control {
+namespace {
+
+TEST(SystemId, ExactGainRecovery) {
+  std::vector<double> df, dp;
+  for (const double d : {0.2, -0.4, 0.6, -0.2, 0.8}) {
+    df.push_back(d);
+    dp.push_back(0.79 * d);
+  }
+  const GainEstimate est = estimate_plant_gain(df, dp);
+  EXPECT_NEAR(est.gain, 0.79, 1e-12);
+  EXPECT_NEAR(est.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(est.samples, 5u);
+}
+
+TEST(SystemId, NoisyGainRecovery) {
+  util::Xoshiro256pp rng(4);
+  std::vector<double> df, dp;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.uniform(-1.0, 1.0);
+    df.push_back(d);
+    dp.push_back(2.5 * d + rng.normal(0.0, 0.1));
+  }
+  const GainEstimate est = estimate_plant_gain(df, dp);
+  EXPECT_NEAR(est.gain, 2.5, 0.05);
+  EXPECT_GT(est.r_squared, 0.9);
+}
+
+TEST(SystemId, ZeroExcitationYieldsZero) {
+  std::vector<double> df(10, 0.0), dp(10, 1.0);
+  const GainEstimate est = estimate_plant_gain(df, dp);
+  EXPECT_EQ(est.gain, 0.0);
+}
+
+TEST(SystemId, EmptyInput) {
+  const GainEstimate est = estimate_plant_gain({}, {});
+  EXPECT_EQ(est.gain, 0.0);
+  EXPECT_EQ(est.samples, 0u);
+}
+
+TEST(Rls, ConvergesToTrueGain) {
+  RecursiveGainEstimator rls(0.0, 1.0);
+  util::Xoshiro256pp rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.uniform(-1.0, 1.0);
+    rls.update(d, 1.7 * d + rng.normal(0.0, 0.05));
+  }
+  EXPECT_NEAR(rls.gain(), 1.7, 0.05);
+  EXPECT_EQ(rls.samples(), 500u);
+}
+
+TEST(Rls, TracksDriftWithForgetting) {
+  RecursiveGainEstimator rls(0.0, 0.9);
+  util::Xoshiro256pp rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const double d = rng.uniform(-1.0, 1.0);
+    rls.update(d, 1.0 * d);
+  }
+  EXPECT_NEAR(rls.gain(), 1.0, 0.05);
+  // Gain doubles; the estimator must follow.
+  for (int i = 0; i < 300; ++i) {
+    const double d = rng.uniform(-1.0, 1.0);
+    rls.update(d, 2.0 * d);
+  }
+  EXPECT_NEAR(rls.gain(), 2.0, 0.1);
+}
+
+TEST(Rls, IgnoresZeroExcitation) {
+  RecursiveGainEstimator rls(0.5);
+  rls.update(0.0, 123.0);
+  EXPECT_DOUBLE_EQ(rls.gain(), 0.5);
+}
+
+TEST(Rls, ResetRestoresPrior) {
+  RecursiveGainEstimator rls(0.0);
+  rls.update(1.0, 3.0);
+  EXPECT_GT(rls.gain(), 1.0);
+  rls.reset(0.25);
+  EXPECT_DOUBLE_EQ(rls.gain(), 0.25);
+  EXPECT_EQ(rls.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace cpm::control

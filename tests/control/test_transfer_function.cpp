@@ -1,0 +1,152 @@
+#include "control/transfer_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+namespace cpm::control {
+namespace {
+
+TEST(TransferFunction, RejectsZeroDenominator) {
+  EXPECT_THROW(TransferFunction(Polynomial({1.0}), Polynomial{}),
+               std::invalid_argument);
+}
+
+TEST(TransferFunction, IntegratorPlantShape) {
+  const auto p = TransferFunction::integrator_plant(0.79);
+  EXPECT_TRUE(p.numerator().approx_equal(Polynomial({0.79})));
+  EXPECT_TRUE(p.denominator().approx_equal(Polynomial({-1.0, 1.0})));
+  // Single pole at z = 1.
+  const auto poles = p.poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), 1.0, 1e-10);
+}
+
+TEST(TransferFunction, PidMatchesClosedForm) {
+  // C(z) = [Kp z(z-1) + Ki z^2 + Kd (z-1)^2] / [z(z-1)]
+  const double kp = 0.4, ki = 0.4, kd = 0.3;
+  const auto c = TransferFunction::pid(kp, ki, kd);
+  // numerator coefficients: z^2: kp+ki+kd, z^1: -(kp+2kd), z^0: kd
+  EXPECT_TRUE(c.numerator().approx_equal(
+      Polynomial({kd, -(kp + 2 * kd), kp + ki + kd})));
+  EXPECT_TRUE(c.denominator().approx_equal(Polynomial({0.0, -1.0, 1.0})));
+}
+
+TEST(TransferFunction, SeriesMultiplies) {
+  const auto a = TransferFunction(Polynomial({2.0}), Polynomial({0.0, 1.0}));
+  const auto b = TransferFunction(Polynomial({3.0}), Polynomial({1.0, 1.0}));
+  const auto s = a.series(b);
+  EXPECT_TRUE(s.numerator().approx_equal(Polynomial({6.0})));
+  EXPECT_TRUE(s.denominator().approx_equal(Polynomial({0.0, 1.0, 1.0})));
+}
+
+TEST(TransferFunction, ParallelAdds) {
+  // 1/z + 1/(z+1) = (2z+1)/(z(z+1))
+  const auto a = TransferFunction(Polynomial({1.0}), Polynomial({0.0, 1.0}));
+  const auto b = TransferFunction(Polynomial({1.0}), Polynomial({1.0, 1.0}));
+  const auto p = a.parallel(b);
+  EXPECT_TRUE(p.numerator().approx_equal(Polynomial({1.0, 2.0})));
+  EXPECT_TRUE(p.denominator().approx_equal(Polynomial({0.0, 1.0, 1.0})));
+}
+
+TEST(TransferFunction, ClosedLoopAlgebra) {
+  // H = 1/(z-1); H/(1+H) = 1/z.
+  const auto h = TransferFunction::integrator_plant(1.0);
+  const auto cl = h.closed_loop_unity_feedback();
+  EXPECT_TRUE(cl.numerator().approx_equal(Polynomial({1.0})));
+  EXPECT_TRUE(cl.denominator().approx_equal(Polynomial({0.0, 1.0})));
+}
+
+TEST(TransferFunction, EvaluateAndDcGain) {
+  // H(z) = (z+1)/(z+3): H(1) = 0.5
+  const auto h = TransferFunction(Polynomial({1.0, 1.0}), Polynomial({3.0, 1.0}));
+  EXPECT_NEAR(h.dc_gain(), 0.5, 1e-12);
+  const auto v = h.evaluate({2.0, 0.0});
+  EXPECT_NEAR(v.real(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(TransferFunction, DcGainInfiniteAtIntegrator) {
+  const auto h = TransferFunction::integrator_plant(1.0);
+  EXPECT_TRUE(std::isinf(h.dc_gain()));
+}
+
+TEST(TransferFunction, SimulateDelay) {
+  // H(z) = 1/z: pure one-step delay.
+  const auto h = TransferFunction(Polynomial({1.0}), Polynomial({0.0, 1.0}));
+  const auto y = h.simulate({1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);
+}
+
+TEST(TransferFunction, SimulateFirstOrderStep) {
+  // y[t+1] = 0.5 y[t] + u[t]: H = 1/(z-0.5); step converges to 1/(1-0.5)=2.
+  const auto h = TransferFunction(Polynomial({1.0}), Polynomial({-0.5, 1.0}));
+  const auto y = h.step_response(50);
+  EXPECT_NEAR(y.back(), 2.0, 1e-6);
+  // Analytic: y[t] = 2(1 - 0.5^t)
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    EXPECT_NEAR(y[t], 2.0 * (1.0 - std::pow(0.5, static_cast<double>(t))),
+                1e-9);
+  }
+}
+
+TEST(TransferFunction, SimulateRejectsNonCausal) {
+  const auto h = TransferFunction(Polynomial({0.0, 0.0, 1.0}),
+                                  Polynomial({1.0, 1.0}));
+  EXPECT_THROW(h.simulate({1.0}), std::invalid_argument);
+}
+
+TEST(TransferFunction, StepResponseDcGainConsistency) {
+  // Stable H: final value of step response == dc gain.
+  const auto h = TransferFunction(Polynomial({0.2, 0.1}),
+                                  Polynomial({0.06, -0.5, 1.0}));
+  const auto y = h.step_response(200);
+  EXPECT_NEAR(y.back(), h.dc_gain(), 1e-9);
+}
+
+TEST(TransferFunction, SensitivityComplementsClosedLoop) {
+  // S + T = 1 at every frequency.
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(0.79));
+  const auto t = l.closed_loop_unity_feedback();
+  const auto s = l.closed_loop_sensitivity();
+  for (const double omega : {0.1, 0.5, 1.0, 2.0, 3.0}) {
+    const auto z = std::polar(1.0, omega);
+    const auto sum = t.evaluate(z) + s.evaluate(z);
+    EXPECT_NEAR(sum.real(), 1.0, 1e-9) << omega;
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-9) << omega;
+  }
+}
+
+TEST(TransferFunction, IntegralActionRejectsConstantDisturbance) {
+  // S(1) = 0: a step output disturbance (sudden island power demand shift)
+  // is driven back to the setpoint with zero steady-state error.
+  const auto l = TransferFunction::pid(0.4, 0.4, 0.3)
+                     .series(TransferFunction::integrator_plant(0.79));
+  const auto s = l.closed_loop_sensitivity();
+  EXPECT_NEAR(s.dc_gain(), 0.0, 1e-9);
+  const auto y = s.step_response(80);
+  EXPECT_NEAR(y.back(), 0.0, 1e-3);
+  // The disturbance initially passes through (S ~ 1 at high frequency).
+  EXPECT_GT(y.front(), 0.5);
+}
+
+TEST(TransferFunction, ProportionalOnlyLeaksConstantDisturbance) {
+  // Without an integrator in the loop, a constant output disturbance is
+  // only attenuated, never rejected: S(1) = 1/(1 + L(1)) > 0. (The CPM
+  // plant itself integrates, so this needs a non-integrating plant.)
+  const auto plant =
+      TransferFunction(Polynomial({0.79}), Polynomial({-0.5, 1.0}));
+  const auto s = TransferFunction::pid(0.4, 0.0, 0.0)
+                     .series(plant)
+                     .closed_loop_sensitivity();
+  EXPECT_GT(s.dc_gain(), 0.3);
+  EXPECT_LT(s.dc_gain(), 1.0);
+}
+
+}  // namespace
+}  // namespace cpm::control

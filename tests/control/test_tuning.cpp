@@ -1,0 +1,75 @@
+#include "control/tuning.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::control {
+namespace {
+
+TEST(Tuning, EvaluateRejectsUnstableDesign) {
+  // a = 2.79 with the paper's gains is unstable.
+  EXPECT_FALSE(evaluate_design(2.79, PidGains{}).has_value());
+}
+
+TEST(Tuning, EvaluatePaperDesign) {
+  const auto design = evaluate_design(0.79, PidGains{});
+  ASSERT_TRUE(design.has_value());
+  EXPECT_GT(design->itae, 0.0);
+  EXPECT_NEAR(design->gain_margin, 2.11, 0.05);
+  EXPECT_TRUE(design->metrics.settled);
+  EXPECT_LT(design->metrics.steady_state_error, 0.01);  // integral action
+}
+
+TEST(Tuning, DesignMeetsSpecForPaperPlant) {
+  DesignSpec spec;
+  const auto design = design_pid(0.79, spec);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_LE(design->metrics.max_overshoot, spec.max_overshoot);
+  EXPECT_LE(design->metrics.settling_time, spec.max_settling_time);
+  EXPECT_LE(design->metrics.steady_state_error, spec.max_steady_state_error);
+  EXPECT_GE(design->gain_margin, spec.min_gain_margin);
+}
+
+TEST(Tuning, AutoDesignBeatsPaperGainsOnItae) {
+  // The automated search optimizes ITAE; it must not be worse than the
+  // paper's hand-placed design on its own criterion.
+  const auto paper = evaluate_design(0.79, PidGains{});
+  const auto tuned = design_pid(0.79);
+  ASSERT_TRUE(paper.has_value());
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_LE(tuned->itae, paper->itae);
+}
+
+TEST(Tuning, WorksAcrossPlantGains) {
+  for (const double a : {0.3, 0.79, 1.2}) {
+    const auto design = design_pid(a);
+    ASSERT_TRUE(design.has_value()) << "a = " << a;
+    // Verify the design on the loop it was made for.
+    const auto check = evaluate_design(a, design->gains);
+    ASSERT_TRUE(check.has_value());
+    EXPECT_TRUE(check->metrics.settled);
+  }
+}
+
+TEST(Tuning, ImpossibleSpecReturnsNothing) {
+  DesignSpec impossible;
+  impossible.max_overshoot = 0.0;
+  impossible.max_settling_time = 1;
+  impossible.max_steady_state_error = 1e-9;
+  impossible.min_gain_margin = 10.0;
+  EXPECT_FALSE(design_pid(0.79, impossible).has_value());
+}
+
+TEST(Tuning, TighterOvershootSpecYieldsTamerDesign) {
+  DesignSpec loose;
+  loose.max_overshoot = 0.45;
+  DesignSpec tight;
+  tight.max_overshoot = 0.10;
+  const auto loose_design = design_pid(0.79, loose);
+  const auto tight_design = design_pid(0.79, tight);
+  ASSERT_TRUE(loose_design.has_value());
+  ASSERT_TRUE(tight_design.has_value());
+  EXPECT_LE(tight_design->metrics.max_overshoot, 0.10);
+}
+
+}  // namespace
+}  // namespace cpm::control

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+TEST(DynamicBudget, PowerFollowsScheduledCapChange) {
+  SimulationConfig cfg = default_config(0.9, 5);
+  cfg.budget_schedule = {{0.1, 0.6}};  // cap drops to 60 % at t = 0.1 s
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.2);
+
+  // Mean power before the change (skipping warmup) vs well after it.
+  double before = 0.0, after = 0.0;
+  std::size_t n_before = 0, n_after = 0;
+  for (const auto& g : res.gpm_records) {
+    if (g.time_s > 0.02 && g.time_s < 0.10) {
+      before += g.chip_actual_w;
+      ++n_before;
+    } else if (g.time_s > 0.13) {
+      after += g.chip_actual_w;
+      ++n_after;
+    }
+  }
+  ASSERT_GT(n_before, 0u);
+  ASSERT_GT(n_after, 0u);
+  before /= static_cast<double>(n_before);
+  after /= static_cast<double>(n_after);
+
+  EXPECT_NEAR(before / res.max_chip_power_w, 0.9, 0.06);
+  EXPECT_NEAR(after / res.max_chip_power_w, 0.6, 0.06);
+}
+
+TEST(DynamicBudget, RecordsCarryTheLiveBudget) {
+  SimulationConfig cfg = default_config(0.8, 5);
+  cfg.budget_schedule = {{0.05, 0.5}};
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.1);
+  bool saw_old = false, saw_new = false;
+  for (const auto& g : res.gpm_records) {
+    if (std::abs(g.chip_budget_w - 0.8 * res.max_chip_power_w) < 1e-6) {
+      saw_old = true;
+    }
+    if (std::abs(g.chip_budget_w - 0.5 * res.max_chip_power_w) < 1e-6) {
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(DynamicBudget, WorksWithMaxBips) {
+  SimulationConfig cfg =
+      with_manager(default_config(0.9, 5), ManagerKind::kMaxBips);
+  cfg.budget_schedule = {{0.05, 0.55}};
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.15);
+  // After the cap drop, MaxBIPS must stay under the new budget.
+  for (const auto& g : res.gpm_records) {
+    if (g.time_s > 0.08) {
+      EXPECT_LT(g.chip_actual_w, 0.55 * res.max_chip_power_w * 1.05)
+          << "t = " << g.time_s;
+    }
+  }
+}
+
+TEST(LevelResidency, SumsToOnePerIsland) {
+  Simulation sim(default_config(0.8, 7));
+  const SimulationResult res = sim.run(0.05);
+  ASSERT_EQ(res.island_level_residency.size(), 4u);
+  for (const auto& residency : res.island_level_residency) {
+    ASSERT_EQ(residency.size(), 8u);
+    double total = 0.0;
+    for (const double r : residency) total += r;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LevelResidency, NoDvfsSitsAtTopLevel) {
+  Simulation sim(with_manager(default_config(0.8, 7), ManagerKind::kNoDvfs));
+  const SimulationResult res = sim.run(0.05);
+  for (const auto& residency : res.island_level_residency) {
+    EXPECT_DOUBLE_EQ(residency.back(), 1.0);
+  }
+}
+
+TEST(LevelResidency, TightBudgetShiftsResidencyDown) {
+  Simulation loose(default_config(0.95, 7));
+  Simulation tight(default_config(0.6, 7));
+  const SimulationResult rl = loose.run(0.1);
+  const SimulationResult rt = tight.run(0.1);
+  auto mean_level = [](const SimulationResult& r) {
+    double acc = 0.0;
+    for (const auto& residency : r.island_level_residency) {
+      for (std::size_t l = 0; l < residency.size(); ++l) {
+        acc += residency[l] * static_cast<double>(l);
+      }
+    }
+    return acc / static_cast<double>(r.island_level_residency.size());
+  };
+  EXPECT_LT(mean_level(rt), mean_level(rl));
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,104 @@
+#include "core/energy_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+std::vector<IslandObservation> obs_with_bips(double per_island_bips) {
+  std::vector<IslandObservation> v(4);
+  for (auto& o : v) {
+    o.bips = per_island_bips;
+    o.power_w = 10.0;
+    o.utilization = 0.7;
+    o.dvfs_level = 7;
+  }
+  return v;
+}
+
+TEST(EnergyPolicy, LatchesReferenceFromFirstInterval) {
+  EnergyAwarePolicy policy;
+  const std::vector<double> prev(4, 10.0);
+  policy.provision(40.0, obs_with_bips(1.0), prev);
+  EXPECT_DOUBLE_EQ(policy.reference_bips(), 4.0);
+}
+
+TEST(EnergyPolicy, TrimsPowerWhileGuaranteeHolds) {
+  EnergyPolicyConfig cfg;
+  cfg.reference_bips = 4.0;
+  cfg.min_perf_fraction = 0.9;
+  EnergyAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  for (int i = 0; i < 10; ++i) {
+    // Throughput comfortably above the guarantee.
+    prev = policy.provision(40.0, obs_with_bips(1.0), prev);
+  }
+  EXPECT_LT(policy.total_fraction(), 0.7);
+  EXPECT_LT(std::accumulate(prev.begin(), prev.end(), 0.0), 40.0 * 0.7 + 1e-9);
+}
+
+TEST(EnergyPolicy, RestoresPowerWhenGuaranteeViolated) {
+  EnergyPolicyConfig cfg;
+  cfg.reference_bips = 4.0;
+  cfg.min_perf_fraction = 0.95;
+  EnergyAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  for (int i = 0; i < 10; ++i) {
+    prev = policy.provision(40.0, obs_with_bips(1.0), prev);  // trims
+  }
+  const double trimmed = policy.total_fraction();
+  for (int i = 0; i < 10; ++i) {
+    prev = policy.provision(40.0, obs_with_bips(0.8), prev);  // 80 % < 95 %
+  }
+  EXPECT_GT(policy.total_fraction(), trimmed);
+}
+
+TEST(EnergyPolicy, TotalFractionBounded) {
+  EnergyPolicyConfig cfg;
+  cfg.reference_bips = 4.0;
+  cfg.min_total_fraction = 0.3;
+  EnergyAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    prev = policy.provision(40.0, obs_with_bips(1.0), prev);
+  }
+  EXPECT_GE(policy.total_fraction(), 0.3 - 1e-9);
+  for (int i = 0; i < 100; ++i) {
+    prev = policy.provision(40.0, obs_with_bips(0.01), prev);
+  }
+  EXPECT_LE(policy.total_fraction(), 1.0 + 1e-9);
+}
+
+TEST(EnergyPolicy, ResetRestoresState) {
+  EnergyAwarePolicy policy;
+  std::vector<double> prev(4, 10.0);
+  policy.provision(40.0, obs_with_bips(1.0), prev);
+  policy.provision(40.0, obs_with_bips(1.0), prev);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.total_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.reference_bips(), 0.0);
+}
+
+TEST(EnergyPolicy, EndToEndSavesPowerAtBoundedPerformanceCost) {
+  // Integration: at a 100 % budget, the energy policy must draw noticeably
+  // less power than the performance policy while keeping throughput within
+  // its guarantee band.
+  SimulationConfig perf_cfg = default_config(1.0, 7);
+  SimulationConfig energy_cfg = with_policy(perf_cfg, PolicyKind::kEnergy);
+  energy_cfg.energy_policy.min_perf_fraction = 0.90;
+
+  Simulation perf_sim(perf_cfg);
+  Simulation energy_sim(energy_cfg);
+  const SimulationResult perf = perf_sim.run(0.15);
+  const SimulationResult energy = energy_sim.run(0.15);
+
+  EXPECT_LT(energy.avg_chip_power_w, perf.avg_chip_power_w * 0.97);
+  EXPECT_GT(energy.total_instructions, perf.total_instructions * 0.85);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,88 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::core {
+namespace {
+
+TEST(ExperimentConfigs, DefaultMatchesPaperBaseline) {
+  const SimulationConfig cfg = default_config();
+  EXPECT_EQ(cfg.cmp.num_islands, 4u);
+  EXPECT_EQ(cfg.cmp.cores_per_island, 2u);
+  EXPECT_DOUBLE_EQ(cfg.budget_fraction, 0.8);
+  EXPECT_EQ(cfg.mix.name, "Mix-1");
+  EXPECT_EQ(cfg.manager, ManagerKind::kCpm);
+  EXPECT_EQ(cfg.policy, PolicyKind::kPerformance);
+}
+
+TEST(ExperimentConfigs, WithHelpersOverride) {
+  const SimulationConfig mb =
+      with_manager(default_config(), ManagerKind::kMaxBips);
+  EXPECT_EQ(mb.manager, ManagerKind::kMaxBips);
+  const SimulationConfig th = with_policy(default_config(), PolicyKind::kThermal);
+  EXPECT_EQ(th.policy, PolicyKind::kThermal);
+}
+
+TEST(ExperimentConfigs, ScaledTopologies) {
+  EXPECT_EQ(scaled_config(8).cmp.total_cores(), 8u);
+  EXPECT_EQ(scaled_config(16).cmp.total_cores(), 16u);
+  EXPECT_EQ(scaled_config(16).mix.total_cores(), 16u);
+  EXPECT_EQ(scaled_config(32).cmp.total_cores(), 32u);
+  EXPECT_EQ(scaled_config(32).mix.num_islands(), 8u);
+  EXPECT_EQ(scaled_config(64).cmp.total_cores(), 64u);
+  EXPECT_EQ(scaled_config(64).mix.num_islands(), 16u);
+  EXPECT_THROW(scaled_config(128), std::invalid_argument);
+}
+
+TEST(ExperimentConfigs, IslandSizeVariants) {
+  for (const std::size_t cpd : {1ul, 2ul, 4ul}) {
+    const SimulationConfig cfg = island_size_config(cpd);
+    EXPECT_EQ(cfg.cmp.cores_per_island, cpd);
+    EXPECT_EQ(cfg.cmp.total_cores(), 8u);
+    EXPECT_EQ(cfg.mix.cores_per_island(), cpd);
+  }
+}
+
+TEST(ExperimentConfigs, ThermalAndVariationSetups) {
+  const SimulationConfig th = thermal_config(PolicyKind::kThermal);
+  EXPECT_EQ(th.cmp.num_islands, 8u);
+  EXPECT_EQ(th.cmp.cores_per_island, 1u);
+  EXPECT_EQ(th.mix.islands[0][0]->name, "mesa");
+
+  const SimulationConfig var = variation_config(PolicyKind::kVariation);
+  ASSERT_EQ(var.island_leak_mults.size(), 4u);
+  EXPECT_DOUBLE_EQ(var.island_leak_mults[2], 2.0);  // paper: 2x island
+  EXPECT_DOUBLE_EQ(var.island_leak_mults[3], 1.0);  // reference island
+}
+
+TEST(ExperimentRunners, RunWithBaselineProducesBothResults) {
+  const ManagedVsBaseline mb = run_with_baseline(default_config(0.8, 3), 0.03);
+  EXPECT_GT(mb.managed.total_instructions, 0.0);
+  EXPECT_GT(mb.baseline.total_instructions, mb.managed.total_instructions);
+  EXPECT_GT(mb.degradation, 0.0);
+  EXPECT_LT(mb.degradation, 0.5);
+}
+
+TEST(ExperimentRunners, BudgetSweepOrderedAndComplete) {
+  const std::vector<double> budgets{0.9, 0.7};  // deliberately unsorted
+  const auto points = budget_sweep(default_config(0.8, 3), budgets, 0.03);
+  ASSERT_EQ(points.size(), 2u);
+  // Results must be in input order (parallel map preserves indices).
+  EXPECT_DOUBLE_EQ(points[0].budget_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(points[1].budget_fraction, 0.7);
+  // Tighter budget -> less power, more degradation.
+  EXPECT_GT(points[0].avg_power_fraction, points[1].avg_power_fraction);
+  EXPECT_LT(points[0].degradation, points[1].degradation + 0.02);
+}
+
+TEST(ExperimentRunners, BudgetSweepMatchesSerialRun) {
+  // The parallel sweep must reproduce individually-run simulations exactly.
+  const auto points = budget_sweep(default_config(0.8, 5), {0.75}, 0.03);
+  Simulation solo(default_config(0.75, 5));
+  const SimulationResult res = solo.run(0.03);
+  EXPECT_NEAR(points[0].avg_power_fraction,
+              res.avg_chip_power_w / res.max_chip_power_w, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpm::core

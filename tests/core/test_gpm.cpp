@@ -1,0 +1,97 @@
+#include "core/gpm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+namespace cpm::core {
+namespace {
+
+/// Policy stub returning a fixed allocation (used to test GPM invariants).
+class FixedPolicy final : public ProvisioningPolicy {
+ public:
+  explicit FixedPolicy(std::vector<double> alloc) : alloc_(std::move(alloc)) {}
+  std::vector<double> provision(double, std::span<const IslandObservation>,
+                                std::span<const double>) override {
+    return alloc_;
+  }
+  std::string_view name() const override { return "fixed"; }
+
+ private:
+  std::vector<double> alloc_;
+};
+
+std::vector<IslandObservation> obs(std::size_t n) {
+  std::vector<IslandObservation> v(n);
+  for (auto& o : v) {
+    o.bips = 1.0;
+    o.power_w = 10.0;
+  }
+  return v;
+}
+
+TEST(Gpm, RejectsBadConstruction) {
+  EXPECT_THROW(Gpm(nullptr, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), 10.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Gpm, InitialAllocationIsEqualSplit) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), 40.0, 4);
+  for (const double a : gpm.current_allocation()) EXPECT_DOUBLE_EQ(a, 10.0);
+}
+
+TEST(Gpm, PassesThroughInBudgetAllocation) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{5, 10, 15, 8}),
+          40.0, 4);
+  const auto alloc = gpm.invoke(obs(4));
+  EXPECT_DOUBLE_EQ(alloc[0], 5.0);
+  EXPECT_DOUBLE_EQ(alloc[3], 8.0);
+}
+
+TEST(Gpm, RescalesOversubscribedPolicy) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{40, 40, 40, 40}),
+          40.0, 4);
+  const auto alloc = gpm.invoke(obs(4));
+  const double total = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  EXPECT_NEAR(total, 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(alloc[0], 10.0);
+}
+
+TEST(Gpm, ClampsNegativeAllocations) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{-5, 10, 10, 10}),
+          40.0, 4);
+  const auto alloc = gpm.invoke(obs(4));
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+}
+
+TEST(Gpm, RejectsWrongObservationCount) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), 40.0, 4);
+  EXPECT_THROW(gpm.invoke(obs(3)), std::invalid_argument);
+}
+
+TEST(Gpm, RejectsWrongPolicySize) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(3, 1.0)), 40.0, 4);
+  EXPECT_THROW(gpm.invoke(obs(4)), std::logic_error);
+}
+
+TEST(Gpm, BudgetUpdate) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 5.0)), 40.0, 4);
+  gpm.set_budget_w(20.0);
+  EXPECT_DOUBLE_EQ(gpm.budget_w(), 20.0);
+  EXPECT_THROW(gpm.set_budget_w(-1.0), std::invalid_argument);
+}
+
+TEST(Gpm, ResetRestoresEqualSplit) {
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{1, 2, 3, 34}),
+          40.0, 4);
+  gpm.invoke(obs(4));
+  gpm.reset();
+  for (const double a : gpm.current_allocation()) EXPECT_DOUBLE_EQ(a, 10.0);
+}
+
+}  // namespace
+}  // namespace cpm::core

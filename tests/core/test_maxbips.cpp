@@ -1,0 +1,141 @@
+#include "core/maxbips.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpm::core {
+namespace {
+
+MaxBipsConfig config() { return MaxBipsConfig{}; }
+
+IslandObservation obs(double bips, double power, std::size_t level) {
+  IslandObservation o;
+  o.bips = bips;
+  o.power_w = power;
+  o.dvfs_level = level;
+  return o;
+}
+
+TEST(MaxBips, RejectsBadConstruction) {
+  EXPECT_THROW(MaxBipsManager(config(), 0.0), std::invalid_argument);
+  MaxBipsConfig few = config();
+  few.power_bins = 2;
+  EXPECT_THROW(MaxBipsManager(few, 10.0), std::invalid_argument);
+}
+
+TEST(MaxBips, PredictionScalesLinearlyInFrequency) {
+  const sim::DvfsTable& t = sim::DvfsTable::pentium_m();
+  const IslandObservation o = obs(2.0, 10.0, 7);  // at 2.0 GHz
+  // At level 0 (0.6 GHz): BIPS prediction = 2.0 * 0.6/2.0.
+  EXPECT_NEAR(MaxBipsManager::predict_bips(o, t, 0), 0.6, 1e-12);
+  EXPECT_NEAR(MaxBipsManager::predict_bips(o, t, 7), 2.0, 1e-12);
+}
+
+TEST(MaxBips, PredictionScalesPowerWithFV2) {
+  const sim::DvfsTable& t = sim::DvfsTable::pentium_m();
+  const IslandObservation o = obs(2.0, 10.0, 7);
+  const double top_fv2 = 2.0 * 1.26 * 1.26;
+  const double low_fv2 = 0.6 * 0.956 * 0.956;
+  EXPECT_NEAR(MaxBipsManager::predict_power_w(o, t, 0),
+              10.0 * low_fv2 / top_fv2, 1e-12);
+  EXPECT_NEAR(MaxBipsManager::predict_power_w(o, t, 7), 10.0, 1e-12);
+}
+
+TEST(MaxBips, GenerousBudgetPicksTopLevelEverywhere) {
+  MaxBipsManager mgr(config(), 1000.0);
+  std::vector<IslandObservation> islands(4, obs(1.0, 10.0, 7));
+  const auto levels = mgr.choose_levels(islands);
+  for (const std::size_t l : levels) EXPECT_EQ(l, 7u);
+}
+
+TEST(MaxBips, TinyBudgetPicksBottomLevels) {
+  MaxBipsManager mgr(config(), 1.0);
+  std::vector<IslandObservation> islands(4, obs(1.0, 10.0, 7));
+  const auto levels = mgr.choose_levels(islands);
+  for (const std::size_t l : levels) EXPECT_EQ(l, 0u);
+}
+
+double total_predicted_power(const std::vector<IslandObservation>& islands,
+                             const std::vector<std::size_t>& levels) {
+  const sim::DvfsTable& t = sim::DvfsTable::pentium_m();
+  double total = 0.0;
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    total += MaxBipsManager::predict_power_w(islands[i], t, levels[i]);
+  }
+  return total;
+}
+
+double total_predicted_bips(const std::vector<IslandObservation>& islands,
+                            const std::vector<std::size_t>& levels) {
+  const sim::DvfsTable& t = sim::DvfsTable::pentium_m();
+  double total = 0.0;
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    total += MaxBipsManager::predict_bips(islands[i], t, levels[i]);
+  }
+  return total;
+}
+
+TEST(MaxBips, NeverExceedsBudget) {
+  for (const double budget : {15.0, 25.0, 32.0, 38.0}) {
+    MaxBipsManager mgr(config(), budget);
+    std::vector<IslandObservation> islands{
+        obs(2.0, 12.0, 7), obs(0.8, 9.0, 7), obs(1.5, 11.0, 7),
+        obs(0.5, 8.0, 7)};
+    const auto levels = mgr.choose_levels(islands);
+    EXPECT_LE(total_predicted_power(islands, levels), budget + 1e-9)
+        << "budget " << budget;
+  }
+}
+
+TEST(MaxBips, MatchesBruteForceOnSmallInstance) {
+  // 2 islands x 8 levels = 64 combinations: the DP must find the best one.
+  const double budget = 14.0;
+  MaxBipsManager mgr(config(), budget);
+  std::vector<IslandObservation> islands{obs(2.0, 12.0, 7), obs(0.8, 9.0, 7)};
+  const auto dp_levels = mgr.choose_levels(islands);
+
+  double best_bips = -1.0;
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::vector<std::size_t> combo{a, b};
+      if (total_predicted_power(islands, combo) > budget) continue;
+      best_bips = std::max(best_bips, total_predicted_bips(islands, combo));
+    }
+  }
+  // DP result (power rounded up to bins) cannot beat brute force, and must
+  // come within one quantization bin of it.
+  const double dp_bips = total_predicted_bips(islands, dp_levels);
+  EXPECT_LE(dp_bips, best_bips + 1e-9);
+  EXPECT_GT(dp_bips, best_bips * 0.97);
+}
+
+TEST(MaxBips, FavorsHighBipsPerWattIsland) {
+  // Island 0 produces 4x the BIPS for the same power: under a tight budget
+  // it should end at a higher level than island 1.
+  MaxBipsManager mgr(config(), 14.0);
+  std::vector<IslandObservation> islands{obs(4.0, 10.0, 7), obs(1.0, 10.0, 7)};
+  const auto levels = mgr.choose_levels(islands);
+  EXPECT_GT(levels[0], levels[1]);
+}
+
+TEST(MaxBips, EmptyInput) {
+  MaxBipsManager mgr(config(), 10.0);
+  EXPECT_TRUE(mgr.choose_levels({}).empty());
+}
+
+TEST(MaxBips, ScalesToEightIslands) {
+  MaxBipsManager mgr(config(), 50.0);
+  std::vector<IslandObservation> islands(8, obs(1.0, 10.0, 7));
+  const auto levels = mgr.choose_levels(islands);
+  ASSERT_EQ(levels.size(), 8u);
+  EXPECT_LE(total_predicted_power(islands, levels), 50.0 + 1e-9);
+  // Symmetric islands should receive near-identical levels (within one).
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(levels[i]),
+                static_cast<double>(levels[0]), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,137 @@
+#include "core/perf_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cpm::core {
+namespace {
+
+std::vector<IslandObservation> make_obs(std::vector<double> bips) {
+  std::vector<IslandObservation> v(bips.size());
+  for (std::size_t i = 0; i < bips.size(); ++i) {
+    v[i].bips = bips[i];
+    v[i].power_w = 10.0;
+  }
+  return v;
+}
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ShareBounds, RenormalizesToBudget) {
+  const auto out = apply_share_bounds({1.0, 1.0, 1.0, 1.0}, 40.0, 0.0, 1.0);
+  EXPECT_NEAR(total(out), 40.0, 1e-9);
+  for (const double a : out) EXPECT_NEAR(a, 10.0, 1e-9);
+}
+
+TEST(ShareBounds, EnforcesFloor) {
+  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, 40.0, 0.1, 1.0);
+  for (const double a : out) EXPECT_GE(a, 4.0 - 1e-9);
+  EXPECT_NEAR(total(out), 40.0, 1e-6);
+}
+
+TEST(ShareBounds, EnforcesCeiling) {
+  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, 40.0, 0.0, 0.4);
+  EXPECT_LE(out[0], 16.0 + 1e-9);
+}
+
+TEST(ShareBounds, HandlesAllZeroWeights) {
+  const auto out = apply_share_bounds({0.0, 0.0, 0.0, 0.0}, 40.0, 0.05, 1.0);
+  EXPECT_NEAR(total(out), 40.0, 1e-6);
+  for (const double a : out) EXPECT_NEAR(a, 10.0, 1e-6);
+}
+
+TEST(PerfPolicy, FirstInvocationEqualSplit) {
+  PerformanceAwarePolicy policy;
+  const std::vector<double> prev(4, 10.0);
+  const auto alloc = policy.provision(40.0, make_obs({1, 2, 3, 4}), prev);
+  for (const double a : alloc) EXPECT_NEAR(a, 10.0, 1e-9);
+}
+
+TEST(PerfPolicy, AllocationsAlwaysSumToBudget) {
+  PerformanceAwarePolicy policy;
+  std::vector<double> prev(4, 10.0);
+  for (int round = 0; round < 20; ++round) {
+    const auto alloc = policy.provision(
+        40.0, make_obs({1.0 + round, 2.0, 0.5, 3.0}), prev);
+    EXPECT_NEAR(total(alloc), 40.0, 1e-6) << "round " << round;
+    prev = alloc;
+  }
+}
+
+TEST(PerfPolicy, ShiftsPowerTowardEfficientIslands) {
+  // Island 0 converts power into BIPS beyond the cube-law expectation
+  // (phi > 1); island 3 stagnates (phi < 1). After several rounds island 0
+  // must hold more budget than island 3.
+  PerfPolicyConfig cfg;
+  cfg.min_share = 0.01;
+  PerformanceAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  double bips0 = 1.0;
+  for (int round = 0; round < 10; ++round) {
+    bips0 *= 1.3;  // island 0 keeps improving
+    const auto alloc = policy.provision(
+        40.0, make_obs({bips0, 1.0, 1.0, 0.2}), prev);
+    prev = alloc;
+  }
+  EXPECT_GT(prev[0], prev[3]);
+  EXPECT_GT(prev[0], 10.0);
+}
+
+TEST(PerfPolicy, StarvationPreventedByFloor) {
+  PerfPolicyConfig cfg;
+  cfg.min_share = 0.05;
+  PerformanceAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  for (int round = 0; round < 15; ++round) {
+    // Island 3 performs terribly every round.
+    prev = policy.provision(40.0, make_obs({5.0, 5.0, 5.0, 0.01}), prev);
+  }
+  EXPECT_GE(prev[3], 0.05 * 40.0 - 1e-9);
+}
+
+TEST(PerfPolicy, MaxShareConstraintHolds) {
+  // The paper's example constraint: no island gets more than x % of budget.
+  PerfPolicyConfig cfg;
+  cfg.max_share = 0.3;
+  cfg.min_share = 0.0;
+  PerformanceAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  double bips0 = 1.0;
+  for (int round = 0; round < 10; ++round) {
+    bips0 *= 2.0;
+    prev = policy.provision(40.0, make_obs({bips0, 0.5, 0.5, 0.5}), prev);
+    EXPECT_LE(prev[0], 0.3 * 40.0 + 1e-6);
+  }
+}
+
+TEST(PerfPolicy, PhiCapsPreventWildSwings) {
+  PerformanceAwarePolicy policy;
+  std::vector<double> prev(4, 10.0);
+  policy.provision(40.0, make_obs({1, 1, 1, 1}), prev);
+  // Absurd BIPS spike: allocation must stay bounded by the phi clamp.
+  const auto alloc =
+      policy.provision(40.0, make_obs({1e9, 1, 1, 1}), prev);
+  EXPECT_LT(alloc[0], 40.0);
+  EXPECT_GT(alloc[1], 0.0);
+}
+
+TEST(PerfPolicy, ResetForgetsHistory) {
+  PerformanceAwarePolicy policy;
+  std::vector<double> prev(4, 10.0);
+  policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
+  policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
+  policy.reset();
+  const auto alloc = policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
+  for (const double a : alloc) EXPECT_NEAR(a, 10.0, 1e-9);
+}
+
+TEST(PerfPolicy, NameIsStable) {
+  PerformanceAwarePolicy policy;
+  EXPECT_EQ(policy.name(), "performance-aware");
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,168 @@
+#include "core/pic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpm::core {
+namespace {
+
+PicConfig config() {
+  PicConfig c;
+  c.power_scale_w = 100.0;
+  c.min_freq_ghz = 0.6;
+  c.max_freq_ghz = 2.0;
+  c.plant_gain = 0.79;  // designed-nominal: no gain scheduling
+  return c;
+}
+
+// Synthetic island: power responds to frequency with gain `a` (% of scale
+// per GHz) plus an offset; utilization inverts the PIC's own transducer so
+// the sensor sees the true power.
+struct FakeIsland {
+  double a;               // watts per GHz
+  double power_offset_w;  // watts at f = 0
+  double freq = 2.0;
+
+  double power() const { return power_offset_w + a * freq; }
+  // Given the transducer P = k1 u + k0, produce the utilization the sensor
+  // would read for the island's true power.
+  double utilization(const power::TransducerModel& t) const {
+    return (power() - t.k0) / t.k1;
+  }
+};
+
+TEST(Pic, TracksReachableTarget) {
+  const power::TransducerModel t{20.0, 2.0, 1.0};  // P = 20u + 2
+  Pic pic(config(), t, 2.0);
+  FakeIsland island{/*a=*/7.9, /*offset=*/1.0};  // 7.9 W/GHz = 7.9 %/GHz
+  pic.set_target_w(10.0);
+  for (int i = 0; i < 40; ++i) {
+    island.freq = pic.invoke(island.utilization(t));
+  }
+  EXPECT_NEAR(island.power(), 10.0, 0.8);  // within the deadband quantum
+}
+
+TEST(Pic, SettlesWithinPaperInvocationCount) {
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(config(), t, 2.0);
+  FakeIsland island{7.9, 1.0};
+  pic.set_target_w(10.0);  // from ~16.8 W at 2 GHz down to 10 W
+  int settle = -1;
+  double prev_err = 1e9;
+  for (int i = 0; i < 20; ++i) {
+    island.freq = pic.invoke(island.utilization(t));
+    const double err = std::abs(island.power() - 10.0);
+    if (err < 1.0 && prev_err < 1.0 && settle < 0) settle = i;
+    prev_err = err;
+  }
+  ASSERT_GE(settle, 0);
+  EXPECT_LE(settle, 6);  // paper: settles in 5-6 PIC invocations
+}
+
+TEST(Pic, GainSchedulingPreservesDynamics) {
+  // An island with 2x the nominal gain, with scheduling, should follow
+  // (approximately) the same power trajectory as the nominal island: the
+  // controller output is scaled by a0/a_i, so power updates match step for
+  // step while both stay inside the frequency bounds.
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  PicConfig nominal_cfg = config();
+  PicConfig scheduled_cfg = config();
+  scheduled_cfg.plant_gain = 2 * 0.79;
+
+  FakeIsland island_a{7.9, 1.0};      // 16.8 W at 2.0 GHz
+  FakeIsland island_b{2 * 7.9, 1.0};  // 16.8 W at 1.0 GHz
+  island_b.freq = 1.0;
+  Pic nominal(nominal_cfg, t, 2.0);
+  Pic scheduled(scheduled_cfg, t, 1.0);
+  nominal.set_target_w(10.0);
+  scheduled.set_target_w(10.0);
+
+  for (int i = 0; i < 15; ++i) {
+    island_a.freq = nominal.invoke(island_a.utilization(t));
+    island_b.freq = scheduled.invoke(island_b.utilization(t));
+    EXPECT_NEAR(island_a.power(), island_b.power(), 0.5) << "step " << i;
+  }
+}
+
+TEST(Pic, UnreachableTargetSaturatesAtMaxFrequency) {
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(config(), t, 1.0);
+  FakeIsland island{7.9, 1.0};
+  island.freq = 1.0;
+  pic.set_target_w(50.0);  // island max is ~16.8 W
+  for (int i = 0; i < 30; ++i) {
+    island.freq = pic.invoke(island.utilization(t));
+  }
+  EXPECT_DOUBLE_EQ(island.freq, 2.0);
+}
+
+TEST(Pic, RecoversQuicklyAfterSaturation) {
+  // Anti-windup: after a long unreachable-target stretch, a reachable target
+  // must be acquired within a few invocations.
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(config(), t, 2.0);
+  FakeIsland island{7.9, 1.0};
+  pic.set_target_w(50.0);
+  for (int i = 0; i < 50; ++i) island.freq = pic.invoke(island.utilization(t));
+  pic.set_target_w(8.0);
+  int steps = 0;
+  for (; steps < 30; ++steps) {
+    island.freq = pic.invoke(island.utilization(t));
+    if (std::abs(island.power() - 8.0) < 1.0) break;
+  }
+  EXPECT_LE(steps, 8);
+}
+
+TEST(Pic, DeadbandHoldsFrequency) {
+  PicConfig cfg = config();
+  cfg.deadband_pct = 2.0;  // 2 W on the 100 W scale
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(cfg, t, 1.4);
+  FakeIsland island{7.9, 1.0};
+  island.freq = 1.4;
+  pic.set_target_w(island.power() + 1.0);  // error inside the deadband
+  const double f = pic.invoke(island.utilization(t));
+  EXPECT_DOUBLE_EQ(f, 1.4);
+}
+
+TEST(Pic, RequestClampedToDvfsRange) {
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(config(), t, 0.6);
+  pic.set_target_w(0.0);  // drive down hard
+  for (int i = 0; i < 20; ++i) pic.invoke(0.9);
+  EXPECT_GE(pic.frequency_request_ghz(), 0.6);
+  pic.set_target_w(100.0);
+  for (int i = 0; i < 50; ++i) pic.invoke(0.1);
+  EXPECT_LE(pic.frequency_request_ghz(), 2.0);
+}
+
+TEST(Pic, LevelScaleAdjustsSensedPower) {
+  const power::TransducerModel t{20.0, 0.0, 1.0};
+  Pic pic(config(), t, 2.0);
+  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5, 0.5), 5.0);
+}
+
+TEST(Pic, ResetRestoresInitialState) {
+  const power::TransducerModel t{20.0, 2.0, 1.0};
+  Pic pic(config(), t, 2.0);
+  pic.set_target_w(5.0);
+  for (int i = 0; i < 10; ++i) pic.invoke(0.9);
+  pic.reset(1.4);
+  EXPECT_DOUBLE_EQ(pic.frequency_request_ghz(), 1.4);
+  EXPECT_DOUBLE_EQ(pic.last_error_pct(), 0.0);
+}
+
+TEST(Pic, TransducerSwapTakesEffect) {
+  const power::TransducerModel t1{20.0, 0.0, 1.0};
+  const power::TransducerModel t2{40.0, 0.0, 1.0};
+  Pic pic(config(), t1, 2.0);
+  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5), 10.0);
+  pic.set_transducer(t2);
+  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5), 20.0);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,117 @@
+#include "core/qos_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+std::vector<IslandObservation> make_obs(std::vector<double> bips,
+                                        std::vector<double> power) {
+  std::vector<IslandObservation> v(bips.size());
+  for (std::size_t i = 0; i < bips.size(); ++i) {
+    v[i].bips = bips[i];
+    v[i].power_w = power[i];
+    v[i].utilization = 0.7;
+    v[i].dvfs_level = 7;
+  }
+  return v;
+}
+
+TEST(QosPolicy, PowerEstimateCubeLaw) {
+  // Doubling throughput needs 8x the power (cube law).
+  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(10.0, 1.0, 2.0), 80.0,
+              1e-9);
+  // Already above target: estimate shrinks.
+  EXPECT_LT(QosAwarePolicy::estimate_power_for_bips(10.0, 2.0, 1.0), 10.0);
+  // Clamped ratio: absurd targets do not explode.
+  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(10.0, 1.0, 100.0),
+              10.0 * 125.0, 1e-9);
+  // Degenerate inputs.
+  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(0.0, 1.0, 1.0), 0.0);
+  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(10.0, 0.0, 1.0), 0.0);
+}
+
+TEST(QosPolicy, SlaIslandGetsItsReservation) {
+  QosPolicyConfig cfg;
+  cfg.min_bips = {1.0, 0.0, 0.0, 0.0};  // island 0 carries an SLA
+  QosAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  // Island 0 currently under-performs its SLA (0.8 < 1.0 BIPS at 8 W).
+  const auto alloc =
+      policy.provision(40.0, make_obs({0.8, 2.0, 2.0, 2.0}, {8, 8, 8, 8}),
+                       prev);
+  // Reservation ~ 8 * (1/0.8)^3 * 1.15 ~ 18 W; island 0 must get at least
+  // its reservation.
+  ASSERT_EQ(policy.last_reservations().size(), 4u);
+  EXPECT_GT(policy.last_reservations()[0], 15.0);
+  EXPECT_GE(alloc[0], policy.last_reservations()[0] - 1e-9);
+  EXPECT_EQ(policy.last_reservations()[1], 0.0);
+}
+
+TEST(QosPolicy, TotalNeverExceedsBudget) {
+  QosPolicyConfig cfg;
+  cfg.min_bips = {2.0, 2.0, 0.0, 0.0};
+  QosAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  for (int round = 0; round < 10; ++round) {
+    prev = policy.provision(40.0, make_obs({1.0, 1.0, 1.0, 1.0}, {9, 9, 9, 9}),
+                            prev);
+    EXPECT_LE(std::accumulate(prev.begin(), prev.end(), 0.0), 40.0 + 1e-6);
+  }
+}
+
+TEST(QosPolicy, InfeasibleSlasDegradeGracefully) {
+  QosPolicyConfig cfg;
+  cfg.min_bips = {10.0, 10.0, 10.0, 10.0};  // impossible under 40 W
+  cfg.max_reserved_fraction = 0.8;
+  QosAwarePolicy policy(cfg);
+  std::vector<double> prev(4, 10.0);
+  const auto alloc = policy.provision(
+      40.0, make_obs({1, 1, 1, 1}, {10, 10, 10, 10}), prev);
+  const double reserved = std::accumulate(policy.last_reservations().begin(),
+                                          policy.last_reservations().end(),
+                                          0.0);
+  EXPECT_LE(reserved, 0.8 * 40.0 + 1e-9);
+  // Best-effort share still exists.
+  const double total = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  EXPECT_GT(total - reserved, 1.0);
+}
+
+TEST(QosPolicy, BestEffortOnlyReducesToPerfPolicy) {
+  // With no SLAs the allocations must match the plain perf policy.
+  QosPolicyConfig cfg;
+  QosAwarePolicy qos(cfg);
+  PerformanceAwarePolicy perf(cfg.perf);
+  std::vector<double> prev(4, 10.0);
+  const auto obs = make_obs({1, 2, 3, 4}, {10, 10, 10, 10});
+  const auto a = qos.provision(40.0, obs, prev);
+  const auto b = perf.provision(40.0, obs, prev);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(QosPolicy, EndToEndSlaIslandKeepsThroughputUnderTightBudget) {
+  // Integration: under a tight 60 % budget, protect island 1 (btrack+fsim)
+  // with an SLA at ~90 % of its unmanaged throughput and compare against the
+  // unprotected run: the SLA island must retain more throughput.
+  SimulationConfig base = default_config(0.6, 11);
+  Simulation probe(with_manager(base, ManagerKind::kNoDvfs));
+  const SimulationResult free_run = probe.run(0.1);
+  const double unmanaged_bips = free_run.island_avg_bips[1];
+
+  SimulationConfig qos_cfg = with_policy(base, PolicyKind::kQos);
+  qos_cfg.qos_policy.min_bips = {0.0, unmanaged_bips * 0.9, 0.0, 0.0};
+  Simulation qos_sim(qos_cfg);
+  Simulation plain_sim(base);
+  const SimulationResult qos = qos_sim.run(0.1);
+  const SimulationResult plain = plain_sim.run(0.1);
+
+  EXPECT_GT(qos.island_avg_bips[1], plain.island_avg_bips[1]);
+  EXPECT_GT(qos.island_avg_bips[1], unmanaged_bips * 0.8);
+}
+
+}  // namespace
+}  // namespace cpm::core

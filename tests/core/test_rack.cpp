@@ -1,0 +1,151 @@
+#include "core/rack.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.h"
+#include "workload/mixes.h"
+
+namespace cpm::core {
+namespace {
+
+std::vector<std::unique_ptr<Simulation>> make_chips(std::size_t count,
+                                                    std::uint64_t seed = 3) {
+  std::vector<std::unique_ptr<Simulation>> chips;
+  for (std::size_t c = 0; c < count; ++c) {
+    // Full per-chip budget: the rack tier is the binding constraint.
+    SimulationConfig cfg = default_config(1.0, seed + c);
+    if (c % 2 == 1) cfg.mix = workload::mix2();  // heterogeneous nodes
+    chips.push_back(std::make_unique<Simulation>(cfg));
+  }
+  return chips;
+}
+
+TEST(Rack, RejectsBadConstruction) {
+  EXPECT_THROW(RackManager(RackConfig{}, {}), std::invalid_argument);
+  RackConfig bad;
+  bad.budget_fraction = 0.0;
+  EXPECT_THROW(RackManager(bad, make_chips(1)), std::invalid_argument);
+  RackConfig bad2;
+  bad2.epoch_s = 0.0;
+  EXPECT_THROW(RackManager(bad2, make_chips(1)), std::invalid_argument);
+}
+
+TEST(Rack, BudgetIsFractionOfCombinedMaxPower) {
+  auto chips = make_chips(2);
+  const double total_max =
+      chips[0]->max_chip_power_w() + chips[1]->max_chip_power_w();
+  RackConfig cfg;
+  cfg.budget_fraction = 0.7;
+  RackManager rack(cfg, std::move(chips));
+  EXPECT_NEAR(rack.rack_budget_w(), 0.7 * total_max, 1e-9);
+}
+
+TEST(Rack, TracksRackBudget) {
+  RackConfig cfg;
+  cfg.budget_fraction = 0.75;
+  RackManager rack(cfg, make_chips(3));
+  const RackResult res = rack.run(0.2);
+  ASSERT_EQ(res.chips.size(), 3u);
+  // Rack power converges near the rack budget (the whole point of the
+  // hierarchy): skip the first epochs, check the tail.
+  double tail = 0.0;
+  std::size_t count = 0;
+  for (std::size_t e = res.epoch_power_w.size() / 2;
+       e < res.epoch_power_w.size(); ++e) {
+    tail += res.epoch_power_w[e];
+    ++count;
+  }
+  tail /= static_cast<double>(count);
+  EXPECT_NEAR(tail / res.rack_budget_w, 1.0, 0.08);
+  // And never wildly exceeds it.
+  for (const double p : res.epoch_power_w) {
+    EXPECT_LT(p, res.rack_budget_w * 1.15);
+  }
+}
+
+TEST(Rack, PerChipBudgetsSumToRackBudget) {
+  RackManager rack(RackConfig{}, make_chips(3));
+  const RackResult res = rack.run(0.1);
+  double total = 0.0;
+  for (const auto& chip : res.chips) total += chip.budget_w;
+  EXPECT_LE(total, res.rack_budget_w * (1.0 + 1e-9));
+  for (const auto& chip : res.chips) {
+    EXPECT_GE(chip.budget_w, 0.0);
+    EXPECT_LE(chip.budget_w, chip.max_power_w * (1.0 + 1e-9));
+  }
+}
+
+TEST(Rack, ProducesPerChipTraces) {
+  RackManager rack(RackConfig{}, make_chips(2));
+  const RackResult res = rack.run(0.1);
+  ASSERT_EQ(res.chip_results.size(), 2u);
+  for (const auto& chip : res.chip_results) {
+    EXPECT_GT(chip.total_instructions, 0.0);
+    EXPECT_FALSE(chip.gpm_records.empty());
+  }
+  EXPECT_GT(res.total_instructions, 0.0);
+}
+
+TEST(Rack, Deterministic) {
+  RackManager a(RackConfig{}, make_chips(2, 11));
+  RackManager b(RackConfig{}, make_chips(2, 11));
+  const RackResult ra = a.run(0.05);
+  const RackResult rb = b.run(0.05);
+  EXPECT_DOUBLE_EQ(ra.total_instructions, rb.total_instructions);
+  ASSERT_EQ(ra.epoch_power_w.size(), rb.epoch_power_w.size());
+  for (std::size_t e = 0; e < ra.epoch_power_w.size(); ++e) {
+    EXPECT_DOUBLE_EQ(ra.epoch_power_w[e], rb.epoch_power_w[e]);
+  }
+}
+
+TEST(SimulationRun, ResumableEqualsOneShot) {
+  // start/advance x2/finish must reproduce run() exactly.
+  Simulation one(default_config(0.8, 17));
+  Simulation two(default_config(0.8, 17));
+  const SimulationResult a = one.run(0.06);
+  auto live = two.start();
+  live->advance(0.03);
+  live->advance(0.03);
+  const SimulationResult b = live->finish();
+  EXPECT_DOUBLE_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_DOUBLE_EQ(a.avg_chip_power_w, b.avg_chip_power_w);
+  ASSERT_EQ(a.gpm_records.size(), b.gpm_records.size());
+  for (std::size_t i = 0; i < a.gpm_records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.gpm_records[i].chip_actual_w,
+                     b.gpm_records[i].chip_actual_w);
+  }
+}
+
+TEST(SimulationRun, LifecycleGuards) {
+  Simulation sim(default_config(0.8, 17));
+  auto live = sim.start();
+  EXPECT_THROW(live->advance(0.0), std::invalid_argument);
+  EXPECT_THROW(live->advance(-1.0), std::invalid_argument);
+  EXPECT_THROW(live->set_budget_w(0.0), std::invalid_argument);
+  live->advance(0.01);
+  live->finish();
+  EXPECT_THROW(live->advance(0.01), std::logic_error);
+  EXPECT_THROW(live->finish(), std::logic_error);
+  // Live observables are invalid once finish() has consumed the run.
+  EXPECT_THROW(live->instructions(), std::logic_error);
+  EXPECT_THROW(live->last_window_power_w(), std::logic_error);
+}
+
+TEST(SimulationRun, MidRunBudgetChangeApplies) {
+  Simulation sim(default_config(0.9, 19));
+  auto live = sim.start();
+  live->advance(0.05);
+  const double before = live->last_window_power_w();
+  live->set_budget_w(sim.max_chip_power_w() * 0.6);
+  live->advance(0.1);
+  const SimulationResult res = live->finish();
+  const double after = res.gpm_records.back().chip_actual_w;
+  EXPECT_LT(after, before * 0.85);
+  EXPECT_NEAR(res.gpm_records.back().chip_budget_w,
+              sim.max_chip_power_w() * 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace cpm::core

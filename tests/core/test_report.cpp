@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+TEST(Report, ContainsAllSections) {
+  const SimulationConfig cfg = default_config(0.8, 3);
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.03);
+  std::stringstream ss;
+  write_markdown_report(ss, cfg, res);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("# CPM simulation report"), std::string::npos);
+  EXPECT_NE(out.find("## Configuration"), std::string::npos);
+  EXPECT_NE(out.find("## Calibration"), std::string::npos);
+  EXPECT_NE(out.find("## Chip-level tracking"), std::string::npos);
+  EXPECT_NE(out.find("## Per-island tracking"), std::string::npos);
+  EXPECT_NE(out.find("## DVFS level residency"), std::string::npos);
+  EXPECT_NE(out.find("Mix-1"), std::string::npos);
+  EXPECT_NE(out.find("performance-aware"), std::string::npos);
+}
+
+TEST(Report, OptionsSuppressSections) {
+  const SimulationConfig cfg = default_config(0.8, 3);
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.03);
+  ReportOptions opt;
+  opt.include_residency = false;
+  opt.include_island_tracking = false;
+  opt.title = "Custom title";
+  std::stringstream ss;
+  write_markdown_report(ss, cfg, res, opt);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("# Custom title"), std::string::npos);
+  EXPECT_EQ(out.find("## Per-island tracking"), std::string::npos);
+  EXPECT_EQ(out.find("## DVFS level residency"), std::string::npos);
+}
+
+TEST(Report, ManagerNamesRendered) {
+  SimulationConfig cfg =
+      with_manager(default_config(0.8, 3), ManagerKind::kMaxBips);
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream ss;
+  write_markdown_report(ss, cfg, res);
+  EXPECT_NE(ss.str().find("MaxBIPS"), std::string::npos);
+  // Policy row only appears for the CPM manager.
+  EXPECT_EQ(ss.str().find("GPM policy"), std::string::npos);
+}
+
+TEST(Report, SummaryIsOneLine) {
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  const std::string s = summarize(res);
+  EXPECT_NE(s.find("budget"), std::string::npos);
+  EXPECT_NE(s.find("BIPS"), std::string::npos);
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpm::core

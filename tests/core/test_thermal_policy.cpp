@@ -1,0 +1,173 @@
+#include "core/thermal_policy.h"
+#include "core/variation_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+namespace cpm::core {
+namespace {
+
+ThermalConstraints constraints() {
+  ThermalConstraints c;
+  c.adjacent_pairs = {{0, 1}, {2, 3}};
+  c.pair_cap_share = 0.25;
+  c.pair_consecutive_limit = 2;
+  c.single_cap_share = 0.20;
+  c.single_consecutive_limit = 4;
+  return c;
+}
+
+TEST(Tracker, NoViolationWhenUnderCaps) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  const std::vector<double> alloc{9.0, 9.0, 9.0, 9.0};  // 22.5 % pairs
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(tr.record(alloc, 80.0));
+  }
+  EXPECT_DOUBLE_EQ(tr.violation_fraction(), 0.0);
+}
+
+TEST(Tracker, PairViolationAfterConsecutiveLimit) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};  // pair 0-1 at 30 %
+  EXPECT_FALSE(tr.record(hot, 80.0));  // streak 1 < limit 2
+  EXPECT_TRUE(tr.record(hot, 80.0));   // streak 2 == limit
+  EXPECT_EQ(tr.violation_intervals(), 1u);
+}
+
+TEST(Tracker, StreakResetsWhenUnderCap) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
+  const std::vector<double> cool{8.0, 8.0, 5.0, 5.0};
+  tr.record(hot, 80.0);
+  tr.record(cool, 80.0);  // resets pair streak
+  EXPECT_FALSE(tr.record(hot, 80.0));
+}
+
+TEST(Tracker, SingleIslandViolation) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  // Island 0 at 21.25 % (over the 20 % single cap) but pair 0-1 at 23.75 %
+  // (under the 25 % pair cap), so only the single constraint is in play.
+  const std::vector<double> hot{17.0, 2.0, 5.0, 5.0};
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(tr.record(hot, 80.0));
+  EXPECT_TRUE(tr.record(hot, 80.0));  // 4th consecutive
+}
+
+TEST(Tracker, WouldViolatePredicts) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
+  EXPECT_FALSE(tr.would_violate(hot, 80.0));  // streak 0 -> next would be 1
+  tr.record(hot, 80.0);
+  EXPECT_TRUE(tr.would_violate(hot, 80.0));  // next would complete the limit
+}
+
+TEST(Tracker, RejectsOutOfRangePairs) {
+  ThermalConstraints bad = constraints();
+  bad.adjacent_pairs.push_back({0, 9});
+  EXPECT_THROW(ThermalConstraintTracker(bad, 4), std::invalid_argument);
+}
+
+TEST(Tracker, ResetClearsStreaks) {
+  ThermalConstraintTracker tr(constraints(), 4);
+  const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
+  tr.record(hot, 80.0);
+  tr.reset();
+  EXPECT_EQ(tr.intervals(), 0u);
+  EXPECT_FALSE(tr.record(hot, 80.0));
+}
+
+// A base policy that always wants to pour everything into islands 0 and 1.
+class GreedyHotPolicy final : public ProvisioningPolicy {
+ public:
+  std::vector<double> provision(double budget,
+                                std::span<const IslandObservation> obs,
+                                std::span<const double>) override {
+    std::vector<double> alloc(obs.size(), 0.0);
+    alloc[0] = budget * 0.4;
+    alloc[1] = budget * 0.4;
+    for (std::size_t i = 2; i < alloc.size(); ++i) {
+      alloc[i] = budget * 0.2 / static_cast<double>(alloc.size() - 2);
+    }
+    return alloc;
+  }
+  std::string_view name() const override { return "greedy-hot"; }
+};
+
+TEST(ThermalPolicy, NeverCompletesViolation) {
+  ThermalAwarePolicy policy(std::make_unique<GreedyHotPolicy>(), constraints(),
+                            4);
+  std::vector<IslandObservation> obs(4);
+  std::vector<double> prev(4, 20.0);
+  for (int round = 0; round < 30; ++round) {
+    prev = policy.provision(80.0, obs, prev);
+  }
+  EXPECT_EQ(policy.tracker().violation_intervals(), 0u);
+}
+
+TEST(ThermalPolicy, NeverExceedsBudget) {
+  ThermalAwarePolicy policy(std::make_unique<GreedyHotPolicy>(), constraints(),
+                            4);
+  std::vector<IslandObservation> obs(4);
+  std::vector<double> prev(4, 20.0);
+  for (int round = 0; round < 10; ++round) {
+    prev = policy.provision(80.0, obs, prev);
+    const double total = std::accumulate(prev.begin(), prev.end(), 0.0);
+    EXPECT_LE(total, 80.0 + 1e-6);
+  }
+}
+
+TEST(ThermalPolicy, PerformancePolicyAloneViolates) {
+  // Sanity for Fig. 18c: the unconstrained greedy allocation violates the
+  // thermal constraints when audited by a standalone tracker.
+  GreedyHotPolicy greedy;
+  ThermalConstraintTracker audit(constraints(), 4);
+  std::vector<IslandObservation> obs(4);
+  std::vector<double> prev(4, 20.0);
+  std::size_t violations = 0;
+  for (int round = 0; round < 10; ++round) {
+    prev = greedy.provision(80.0, obs, prev);
+    if (audit.record(prev, 80.0)) ++violations;
+  }
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(ThermalPolicy, ComposesOverAnyBasePolicy) {
+  // The thermal wrapper is policy-agnostic: wrap the variation-aware policy
+  // and the constraints must still hold.
+  VariationPolicyConfig vcfg;
+  ThermalAwarePolicy policy(std::make_unique<VariationAwarePolicy>(vcfg),
+                            constraints(), 4);
+  std::vector<IslandObservation> obs(4);
+  for (auto& o : obs) {
+    o.bips = 1.0;
+    o.power_w = 18.0;
+    o.instructions = 1e6;
+    o.energy_j = 0.09;
+    o.dvfs_level = 7;
+  }
+  std::vector<double> prev(4, 20.0);
+  for (int round = 0; round < 20; ++round) {
+    prev = policy.provision(80.0, obs, prev);
+  }
+  EXPECT_EQ(policy.tracker().violation_intervals(), 0u);
+  EXPECT_EQ(policy.name(), "thermal-aware");
+}
+
+TEST(ThermalPolicy, RejectsNullBase) {
+  EXPECT_THROW(ThermalAwarePolicy(nullptr, constraints(), 4),
+               std::invalid_argument);
+}
+
+TEST(ThermalPolicy, ResetPropagates) {
+  ThermalAwarePolicy policy(std::make_unique<GreedyHotPolicy>(), constraints(),
+                            4);
+  std::vector<IslandObservation> obs(4);
+  std::vector<double> prev(4, 20.0);
+  policy.provision(80.0, obs, prev);
+  policy.reset();
+  EXPECT_EQ(policy.tracker().intervals(), 0u);
+}
+
+}  // namespace
+}  // namespace cpm::core

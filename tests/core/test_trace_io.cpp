@@ -1,0 +1,84 @@
+#include "core/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+TEST(TraceIo, PicRoundTrip) {
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream ss;
+  write_pic_trace_csv(ss, res.pic_records);
+  const auto parsed = read_pic_trace_csv(ss);
+  ASSERT_EQ(parsed.size(), res.pic_records.size());
+  for (std::size_t i = 0; i < parsed.size(); i += 13) {
+    EXPECT_EQ(parsed[i].island, res.pic_records[i].island);
+    EXPECT_NEAR(parsed[i].actual_w, res.pic_records[i].actual_w, 1e-6);
+    EXPECT_NEAR(parsed[i].target_w, res.pic_records[i].target_w, 1e-6);
+    EXPECT_EQ(parsed[i].dvfs_level, res.pic_records[i].dvfs_level);
+  }
+}
+
+TEST(TraceIo, GpmRoundTrip) {
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream ss;
+  write_gpm_trace_csv(ss, res.gpm_records);
+  const auto parsed = read_gpm_trace_csv(ss);
+  ASSERT_EQ(parsed.size(), res.gpm_records.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].chip_actual_w, res.gpm_records[i].chip_actual_w,
+                1e-6);
+    ASSERT_EQ(parsed[i].island_alloc_w.size(),
+              res.gpm_records[i].island_alloc_w.size());
+    EXPECT_NEAR(parsed[i].island_alloc_w[2],
+                res.gpm_records[i].island_alloc_w[2], 1e-6);
+  }
+}
+
+TEST(TraceIo, EmptyRecordsWriteHeaderOnly) {
+  std::stringstream ss;
+  write_gpm_trace_csv(ss, {});
+  EXPECT_NE(ss.str().find("time_s"), std::string::npos);
+  std::stringstream ss2;
+  write_pic_trace_csv(ss2, {});
+  const auto parsed = read_pic_trace_csv(ss2);
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TraceIo, SummaryContainsKeyFields) {
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream ss;
+  write_summary_csv(ss, res);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("budget_w,"), std::string::npos);
+  EXPECT_NE(out.find("total_instructions,"), std::string::npos);
+  EXPECT_NE(out.find("island_3_energy_j,"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(read_pic_trace_csv(empty), std::runtime_error);
+
+  std::stringstream bad_arity(
+      "time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,level\n"
+      "0.1,2,3\n");
+  EXPECT_THROW(read_pic_trace_csv(bad_arity), std::runtime_error);
+
+  std::stringstream bad_number(
+      "time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,level\n"
+      "a,b,c,d,e,f,g,h,i\n");
+  EXPECT_THROW(read_pic_trace_csv(bad_number), std::runtime_error);
+
+  std::stringstream bad_header("time_s,chip_budget_w\n");
+  EXPECT_THROW(read_gpm_trace_csv(bad_header), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,123 @@
+// Parameterized property sweeps across module boundaries: cache geometry
+// laws, PID design-space consistency (algebraic stability vs simulated
+// convergence), and DVFS actuator optimality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "control/analysis.h"
+#include "control/pid.h"
+#include "control/stability.h"
+#include "sim/cache.h"
+#include "sim/dvfs.h"
+#include "util/rng.h"
+
+namespace cpm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cache geometry: bigger caches and more ways never hurt a random working
+// set; miss rate is ~1 when the working set is far larger than the cache.
+// ---------------------------------------------------------------------------
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CacheGeometrySweep, RandomWorkingSetMissRateLaws) {
+  const auto [size_kb, ways] = GetParam();
+  sim::SetAssocCache cache(size_kb, ways, 64);
+  sim::SetAssocCache bigger(size_kb * 4, ways, 64);
+  util::Xoshiro256pp rng(99);
+
+  // Random accesses within a working set twice the small cache's size.
+  const std::uint64_t ws = size_kb * 2 * 1024;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t addr = rng.uniform_int(ws) & ~63ULL;
+    cache.access(addr, false);
+    bigger.access(addr, false);
+  }
+  EXPECT_LE(bigger.stats().miss_rate(), cache.stats().miss_rate() + 0.01);
+  EXPECT_GT(cache.stats().miss_rate(), 0.2);  // WS 2x the cache: real misses
+}
+
+TEST_P(CacheGeometrySweep, FittingWorkingSetConverges) {
+  const auto [size_kb, ways] = GetParam();
+  sim::SetAssocCache cache(size_kb, ways, 64);
+  util::Xoshiro256pp rng(7);
+  const std::uint64_t ws = size_kb * 1024 / 2;  // half the cache
+  for (int i = 0; i < 20000; ++i) {
+    cache.access(rng.uniform_int(ws) & ~63ULL, false);
+  }
+  cache.reset_stats();
+  for (int i = 0; i < 20000; ++i) {
+    cache.access(rng.uniform_int(ws) & ~63ULL, false);
+  }
+  EXPECT_LT(cache.stats().miss_rate(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Combine(::testing::Values(16ul, 64ul, 256ul),
+                       ::testing::Values(1ul, 2ul, 8ul)));
+
+// ---------------------------------------------------------------------------
+// PID design space: the algebraic stability verdict (Jury) must agree with
+// root placement AND with what actually happens when the loop is simulated.
+// ---------------------------------------------------------------------------
+class PidDesignSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PidDesignSweep, AlgebraMatchesSimulation) {
+  const auto [kp, ki, a] = GetParam();
+  const control::PidGains gains{kp, ki, 0.3};
+  const auto cl = control::cpm_closed_loop(a, gains);
+  const bool stable_roots = control::analyze_stability(cl).stable;
+  const bool stable_jury = control::jury_stable(cl.denominator());
+  EXPECT_EQ(stable_roots, stable_jury);
+
+  // Simulate the raw loop (no clamps) and classify by boundedness.
+  control::PidConfig cfg;
+  cfg.gains = gains;
+  control::PidController pid(cfg);
+  double power = 0.0;
+  double late_max = 0.0;
+  for (int t = 0; t < 400; ++t) {
+    power += a * pid.update(10.0 - power);
+    if (t > 300) late_max = std::max(late_max, std::abs(power - 10.0));
+  }
+  if (stable_roots) {
+    EXPECT_LT(late_max, 1.0) << "stable loop did not converge";
+  } else {
+    EXPECT_GT(late_max, 5.0) << "unstable loop looked converged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gains, PidDesignSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.8),
+                       ::testing::Values(0.2, 0.4),
+                       ::testing::Values(0.4, 0.79, 1.3, 2.6)));
+
+// ---------------------------------------------------------------------------
+// DVFS actuator: nearest-level quantization is optimal.
+// ---------------------------------------------------------------------------
+class DvfsRequestSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DvfsRequestSweep, NearestLevelMinimizesError) {
+  const double request = GetParam();
+  const sim::DvfsTable& table = sim::DvfsTable::pentium_m();
+  sim::DvfsActuator act(table, 0, 0.005, 0.5e-3);
+  act.request_frequency(request);
+  const double chosen = act.operating_point().freq_ghz;
+  for (std::size_t l = 0; l < table.num_levels(); ++l) {
+    EXPECT_LE(std::abs(chosen - request),
+              std::abs(table.level(l).freq_ghz - request) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Requests, DvfsRequestSweep,
+                         ::testing::Values(0.0, 0.61, 0.95, 1.234, 1.5, 1.77,
+                                           1.99, 3.5));
+
+}  // namespace
+}  // namespace cpm

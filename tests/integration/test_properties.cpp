@@ -1,0 +1,149 @@
+// Property-style parameterized sweeps (TEST_P): invariants that must hold
+// across seeds, budgets and topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Budget invariant across (budget, seed).
+// ---------------------------------------------------------------------------
+class BudgetSeedSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(BudgetSeedSweep, AllocationsAlwaysWithinBudget) {
+  const auto [budget, seed] = GetParam();
+  Simulation sim(default_config(budget, seed));
+  const SimulationResult res = sim.run(0.06);
+  for (const auto& g : res.gpm_records) {
+    const double total = std::accumulate(g.island_alloc_w.begin(),
+                                         g.island_alloc_w.end(), 0.0);
+    ASSERT_LE(total, res.budget_w * (1.0 + 1e-9));
+    for (const double a : g.island_alloc_w) ASSERT_GE(a, 0.0);
+  }
+}
+
+TEST_P(BudgetSeedSweep, MeanPowerNearOrBelowBudget) {
+  const auto [budget, seed] = GetParam();
+  Simulation sim(default_config(budget, seed));
+  const SimulationResult res = sim.run(0.1);
+  // Mean power may sit slightly above the budget transiently but must stay
+  // within 5 % of it on average.
+  EXPECT_LT(res.avg_chip_power_w, res.budget_w * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, BudgetSeedSweep,
+    ::testing::Combine(::testing::Values(0.6, 0.7, 0.8, 0.9, 1.0),
+                       ::testing::Values(1ull, 42ull, 1234ull)));
+
+// ---------------------------------------------------------------------------
+// Manager invariants across manager kinds.
+// ---------------------------------------------------------------------------
+class ManagerSweep : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(ManagerSweep, TraceIsWellFormed) {
+  Simulation sim(with_manager(default_config(0.8, 7), GetParam()));
+  const SimulationResult res = sim.run(0.05);
+  EXPECT_EQ(res.gpm_records.size(), 10u);
+  for (const auto& rec : res.pic_records) {
+    ASSERT_GE(rec.utilization, 0.0);
+    ASSERT_LE(rec.utilization, 1.0);
+    ASSERT_GE(rec.actual_w, 0.0);
+    ASSERT_GE(rec.freq_ghz, 0.6);
+    ASSERT_LE(rec.freq_ghz, 2.0);
+    ASSERT_LT(rec.dvfs_level, 8u);
+  }
+}
+
+TEST_P(ManagerSweep, InstructionsMonotoneWithTime) {
+  SimulationConfig cfg = with_manager(default_config(0.8, 9), GetParam());
+  Simulation short_sim(cfg);
+  Simulation long_sim(cfg);
+  EXPECT_LT(short_sim.run(0.03).total_instructions,
+            long_sim.run(0.06).total_instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Managers, ManagerSweep,
+                         ::testing::Values(ManagerKind::kCpm,
+                                           ManagerKind::kMaxBips,
+                                           ManagerKind::kNoDvfs));
+
+// ---------------------------------------------------------------------------
+// Policy invariants across policies.
+// ---------------------------------------------------------------------------
+class PolicySweep : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicySweep, RunsAndRespectsBudget) {
+  SimulationConfig cfg = default_config(0.8, 11);
+  cfg.policy = GetParam();
+  if (GetParam() == PolicyKind::kVariation) {
+    cfg.island_leak_mults = {1.2, 1.5, 2.0, 1.0};
+  }
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.06);
+  for (const auto& g : res.gpm_records) {
+    const double total = std::accumulate(g.island_alloc_w.begin(),
+                                         g.island_alloc_w.end(), 0.0);
+    ASSERT_LE(total, res.budget_w * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(PolicyKind::kPerformance,
+                                           PolicyKind::kThermal,
+                                           PolicyKind::kVariation,
+                                           PolicyKind::kEnergy,
+                                           PolicyKind::kQos));
+
+// ---------------------------------------------------------------------------
+// Island-size sweep (Fig. 13 configurations).
+// ---------------------------------------------------------------------------
+class IslandSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IslandSizeSweep, TopologyAndTrackingHold) {
+  const std::size_t cores_per_island = GetParam();
+  Simulation sim(island_size_config(cores_per_island, 0.8, 5));
+  const SimulationResult res = sim.run(0.06);
+  EXPECT_EQ(res.gpm_records.front().island_alloc_w.size(),
+            8 / cores_per_island);
+  const ChipTrackingMetrics chip = chip_tracking_metrics(res.gpm_records);
+  EXPECT_LT(chip.max_overshoot, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(IslandSizes, IslandSizeSweep,
+                         ::testing::Values(1ul, 2ul, 4ul));
+
+// ---------------------------------------------------------------------------
+// Determinism across every (manager, budget) pair.
+// ---------------------------------------------------------------------------
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<ManagerKind, double>> {};
+
+TEST_P(DeterminismSweep, IdenticalConfigIdenticalTrace) {
+  const auto [kind, budget] = GetParam();
+  SimulationConfig cfg = with_manager(default_config(budget, 77), kind);
+  Simulation a(cfg);
+  Simulation b(cfg);
+  const SimulationResult ra = a.run(0.04);
+  const SimulationResult rb = b.run(0.04);
+  ASSERT_EQ(ra.gpm_records.size(), rb.gpm_records.size());
+  for (std::size_t i = 0; i < ra.gpm_records.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ra.gpm_records[i].chip_actual_w,
+                     rb.gpm_records[i].chip_actual_w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Determinism, DeterminismSweep,
+    ::testing::Combine(::testing::Values(ManagerKind::kCpm,
+                                         ManagerKind::kMaxBips),
+                       ::testing::Values(0.7, 0.9)));
+
+}  // namespace
+}  // namespace cpm::core

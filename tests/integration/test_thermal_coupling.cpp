@@ -1,0 +1,65 @@
+// Integration tests of the power-thermal-leakage coupling: leakage grows
+// exponentially with temperature, which grows with power -- a positive
+// feedback loop that must stay bounded under every configuration the
+// platform supports (and whose gain the controllers implicitly fight).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace cpm::core {
+namespace {
+
+TEST(ThermalCoupling, TemperaturesBoundedUnderHeavyLeakage) {
+  // 3x leakage everywhere (far beyond the paper's 2x worst island): the
+  // coupled power-thermal loop must settle, not run away.
+  SimulationConfig cfg = default_config(1.0, 5);  // full budget: hottest case
+  cfg.island_leak_mults = {3.0, 3.0, 3.0, 3.0};
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.15);
+  for (const auto& g : res.gpm_records) {
+    ASSERT_LT(g.max_temp_c, 120.0) << "thermal runaway at t=" << g.time_s;
+  }
+  EXPECT_GT(res.total_instructions, 0.0);
+}
+
+TEST(ThermalCoupling, LeakyChipDrawsMorePowerAtSameWork) {
+  SimulationConfig normal = with_manager(default_config(1.0, 7),
+                                         ManagerKind::kNoDvfs);
+  SimulationConfig leaky = normal;
+  leaky.island_leak_mults = {2.0, 2.0, 2.0, 2.0};
+  Simulation a(normal), b(leaky);
+  const SimulationResult ra = a.run(0.05);
+  const SimulationResult rb = b.run(0.05);
+  EXPECT_GT(rb.avg_chip_power_w, ra.avg_chip_power_w * 1.02);
+  // Unmanaged throughput is leakage independent (same frequencies).
+  EXPECT_NEAR(rb.total_instructions, ra.total_instructions,
+              ra.total_instructions * 1e-9);
+}
+
+TEST(ThermalCoupling, TemperatureTracksPowerBudget) {
+  // Tighter budgets -> less power -> cooler chip.
+  Simulation tight(default_config(0.6, 9));
+  Simulation loose(default_config(0.95, 9));
+  const SimulationResult rt = tight.run(0.1);
+  const SimulationResult rl = loose.run(0.1);
+  double t_tight = 0.0, t_loose = 0.0;
+  for (const auto& g : rt.gpm_records) t_tight = std::max(t_tight, g.max_temp_c);
+  for (const auto& g : rl.gpm_records) t_loose = std::max(t_loose, g.max_temp_c);
+  EXPECT_LT(t_tight, t_loose);
+}
+
+TEST(ThermalCoupling, TwoLayerModeRunsEndToEnd) {
+  SimulationConfig cfg = default_config(0.8, 11);
+  cfg.thermal_params.two_layer = true;
+  Simulation sim(cfg);
+  const SimulationResult res = sim.run(0.1);
+  EXPECT_GT(res.total_instructions, 0.0);
+  const ChipTrackingMetrics chip = chip_tracking_metrics(res.gpm_records);
+  EXPECT_LT(chip.max_overshoot, 0.12);
+  // Package warms slowly: temperatures rise monotonically-ish over the run.
+  EXPECT_GT(res.gpm_records.back().max_temp_c,
+            res.gpm_records.front().max_temp_c - 1.0);
+}
+
+}  // namespace
+}  // namespace cpm::core

@@ -1,0 +1,100 @@
+#include "power/model.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/mixes.h"
+
+namespace cpm::power {
+namespace {
+
+sim::CmpConfig default_cfg() { return sim::CmpConfig::default_8core(); }
+
+sim::CoreTick busy_tick() {
+  sim::CoreTick t;
+  t.utilization = 0.8;
+  t.activity = 0.9;
+  t.activity_idle = 0.1;
+  t.ceff_scale = 1.0;
+  return t;
+}
+
+TEST(PowerModel, RejectsWrongLeakVectorSize) {
+  EXPECT_THROW(PowerModel(default_cfg(), {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(PowerModel, DefaultLeakMultIsOne) {
+  PowerModel m(default_cfg());
+  EXPECT_DOUBLE_EQ(m.island_leak_mult(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.island_leak_mult(3), 1.0);
+}
+
+TEST(PowerModel, LeakMultsApplyPerIsland) {
+  PowerModel m(default_cfg(), {1.2, 1.5, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.island_leak_mult(2), 2.0);
+  const sim::DvfsPoint op{1.0, 1.0};
+  const PowerBreakdown leaky = m.core_power(busy_tick(), op, 2, 55.0);
+  const PowerBreakdown normal = m.core_power(busy_tick(), op, 3, 55.0);
+  EXPECT_DOUBLE_EQ(leaky.dynamic_w, normal.dynamic_w);
+  EXPECT_DOUBLE_EQ(leaky.leakage_w, 2.0 * normal.leakage_w);
+}
+
+TEST(PowerModel, BreakdownTotalIsSum) {
+  PowerModel m(default_cfg());
+  const PowerBreakdown p = m.core_power(busy_tick(), {1.1, 1.6}, 0, 60.0);
+  EXPECT_GT(p.dynamic_w, 0.0);
+  EXPECT_GT(p.leakage_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), p.dynamic_w + p.leakage_w);
+}
+
+TEST(PowerModel, IslandPowerSumsCores) {
+  PowerModel m(default_cfg());
+  sim::IslandTick island;
+  island.cores = {busy_tick(), busy_tick()};
+  const sim::DvfsPoint op{1.1, 1.6};
+  const PowerBreakdown whole = m.island_power(island, op, 0, {60.0});
+  const PowerBreakdown one = m.core_power(busy_tick(), op, 0, 60.0);
+  EXPECT_NEAR(whole.total(), 2.0 * one.total(), 1e-12);
+}
+
+TEST(PowerModel, IslandPowerPerCoreTemps) {
+  PowerModel m(default_cfg());
+  sim::IslandTick island;
+  island.cores = {busy_tick(), busy_tick()};
+  const sim::DvfsPoint op{1.1, 1.6};
+  // Hotter second core leaks more.
+  const PowerBreakdown cool = m.island_power(island, op, 0, {55.0, 55.0});
+  const PowerBreakdown mixed = m.island_power(island, op, 0, {55.0, 90.0});
+  EXPECT_GT(mixed.leakage_w, cool.leakage_w);
+}
+
+TEST(PowerModel, IslandPowerRequiresTemps) {
+  PowerModel m(default_cfg());
+  sim::IslandTick island;
+  island.cores = {busy_tick()};
+  EXPECT_THROW(m.island_power(island, {1.0, 1.0}, 0, {}),
+               std::invalid_argument);
+}
+
+TEST(PowerModel, MaxChipPowerBoundsTypicalDraw) {
+  PowerModel m(default_cfg());
+  const double max_w = m.max_chip_power_w(workload::mix1());
+  EXPECT_GT(max_w, 0.0);
+  // A busy-but-not-max tick at top level must stay below the bound.
+  const sim::DvfsPoint top{1.26, 2.0};
+  double typical = 0.0;
+  for (int core = 0; core < 8; ++core) {
+    typical += m.core_power(busy_tick(), top, 0, 70.0).total();
+  }
+  EXPECT_LT(typical, max_w);
+}
+
+TEST(PowerModel, MaxChipPowerScalesWithCores) {
+  PowerModel m8(default_cfg());
+  PowerModel m16(sim::CmpConfig::scale_16core());
+  const double w8 = m8.max_chip_power_w(workload::mix1());
+  const double w16 = m16.max_chip_power_w(workload::mix3(1));
+  EXPECT_GT(w16, w8 * 1.5);
+}
+
+}  // namespace
+}  // namespace cpm::power

@@ -1,0 +1,83 @@
+#include "power/sensor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpm::power {
+namespace {
+
+TEST(Transducer, RecoversLinearModel) {
+  // Paper Fig. 6: P = k1 * u + k0 with R^2 ~ 0.96.
+  util::Xoshiro256pp rng(1);
+  std::vector<double> u, p;
+  for (int i = 0; i < 500; ++i) {
+    const double ui = rng.uniform(0.2, 0.95);
+    u.push_back(ui);
+    p.push_back(3.2 * ui + 1.5 + rng.normal(0.0, 0.05));
+  }
+  const TransducerModel m = calibrate_transducer(u, p);
+  EXPECT_NEAR(m.k1, 3.2, 0.1);
+  EXPECT_NEAR(m.k0, 1.5, 0.1);
+  EXPECT_GT(m.r_squared, 0.95);
+  EXPECT_NEAR(m.estimate_watts(0.5), 3.1, 0.1);
+}
+
+TEST(Transducer, ExactFitOnNoiselessData) {
+  std::vector<double> u{0.1, 0.5, 0.9}, p{2.1, 2.5, 2.9};  // P = u + 2
+  const TransducerModel m = calibrate_transducer(u, p);
+  EXPECT_NEAR(m.k1, 1.0, 1e-10);
+  EXPECT_NEAR(m.k0, 2.0, 1e-10);
+  EXPECT_NEAR(m.r_squared, 1.0, 1e-10);
+}
+
+TEST(Adaptive, FallsBackToInitialUntilPrimed) {
+  TransducerModel init{2.0, 1.0, 0.9};
+  AdaptiveTransducer a(init);
+  EXPECT_DOUBLE_EQ(a.estimate_watts(0.5), 2.0);  // 2*0.5 + 1
+  a.observe(0.5, 3.0);
+  EXPECT_DOUBLE_EQ(a.model().k1, 2.0);  // one sample: still initial slope
+}
+
+TEST(Adaptive, ConvergesToObservedRelation) {
+  AdaptiveTransducer a({}, 1.0);
+  util::Xoshiro256pp rng(2);
+  for (int i = 0; i < 400; ++i) {
+    const double u = rng.uniform(0.1, 0.9);
+    a.observe(u, 4.0 * u + 0.5);
+  }
+  EXPECT_NEAR(a.model().k1, 4.0, 0.05);
+  EXPECT_NEAR(a.model().k0, 0.5, 0.05);
+  EXPECT_EQ(a.samples(), 400u);
+}
+
+TEST(Adaptive, TracksDriftWithForgetting) {
+  AdaptiveTransducer a({}, 0.95);
+  util::Xoshiro256pp rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double u = rng.uniform(0.1, 0.9);
+    a.observe(u, 2.0 * u + 1.0);
+  }
+  EXPECT_NEAR(a.model().k1, 2.0, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    const double u = rng.uniform(0.1, 0.9);
+    a.observe(u, 5.0 * u + 0.2);  // relation changes
+  }
+  EXPECT_NEAR(a.model().k1, 5.0, 0.2);
+}
+
+TEST(Adaptive, DegenerateSpreadKeepsPriorSlope) {
+  // All observations at the same utilization: slope unidentifiable, so the
+  // prior slope is kept and only the intercept follows the data.
+  TransducerModel init{3.0, 0.0, 0.9};
+  AdaptiveTransducer a(init, 1.0);
+  for (int i = 0; i < 50; ++i) a.observe(0.5, 4.0);
+  const TransducerModel m = a.model();
+  EXPECT_DOUBLE_EQ(m.k1, 3.0);
+  EXPECT_NEAR(m.estimate_watts(0.5), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cpm::power

@@ -1,0 +1,104 @@
+#include "power/structures.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::power {
+namespace {
+
+sim::CmpConfig cfg() { return sim::CmpConfig::default_8core(); }
+
+workload::InstructionMix fp_heavy() { return {0.2, 0.5, 0.2, 0.05, 0.05}; }
+workload::InstructionMix int_heavy() { return {0.6, 0.0, 0.2, 0.1, 0.1}; }
+workload::InstructionMix mem_heavy() { return {0.25, 0.05, 0.45, 0.15, 0.1}; }
+
+TEST(Structures, BreakdownCoversAllUnits) {
+  StructuralPowerModel m(cfg());
+  const auto units = m.breakdown(fp_heavy(), 0.8, 1.1, 1.6);
+  EXPECT_EQ(units.size(), static_cast<std::size_t>(Unit::kCount));
+  double share = 0.0;
+  for (const auto& u : units) {
+    EXPECT_GT(u.watts, 0.0) << unit_name(u.unit);
+    share += u.share;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(Structures, TotalScalesWithV2F) {
+  StructuralPowerModel m(cfg());
+  const double base = m.total_watts(int_heavy(), 0.8, 1.0, 1.0);
+  EXPECT_NEAR(m.total_watts(int_heavy(), 0.8, 2.0, 1.0), 4.0 * base, 1e-9);
+  EXPECT_NEAR(m.total_watts(int_heavy(), 0.8, 1.0, 2.0), 2.0 * base, 1e-9);
+}
+
+TEST(Structures, NormalizedToAggregateModelAtFullActivity) {
+  // With every activity factor saturated (utilization 1, idle factor 1 makes
+  // act = 1 for all units), the total must equal ceff_base * V^2 f.
+  StructuralPowerModel m(cfg());
+  const double v = 1.26, f = 2.0;
+  const double total = m.total_watts(fp_heavy(), 1.0, v, f, /*idle=*/1.0);
+  EXPECT_NEAR(total, cfg().ceff_base_w_per_v2ghz * v * v * f, 1e-9);
+}
+
+TEST(Structures, FpCodeBurnsMoreFpAluPower) {
+  StructuralPowerModel m(cfg());
+  auto fp_units = m.breakdown(fp_heavy(), 0.9, 1.1, 1.6);
+  auto int_units = m.breakdown(int_heavy(), 0.9, 1.1, 1.6);
+  const auto fp_share = fp_units[static_cast<std::size_t>(Unit::kFpAlu)].share;
+  const auto int_share =
+      int_units[static_cast<std::size_t>(Unit::kFpAlu)].share;
+  EXPECT_GT(fp_share, int_share * 2.0);
+}
+
+TEST(Structures, MemoryCodeStressesDCache) {
+  StructuralPowerModel m(cfg());
+  auto mem_units = m.breakdown(mem_heavy(), 0.9, 1.1, 1.6);
+  auto int_units = m.breakdown(int_heavy(), 0.9, 1.1, 1.6);
+  EXPECT_GT(mem_units[static_cast<std::size_t>(Unit::kDCache)].watts,
+            int_units[static_cast<std::size_t>(Unit::kDCache)].watts);
+}
+
+TEST(Structures, IdleCoreDrawsIdleFactor) {
+  StructuralPowerModel m(cfg());
+  const double active = m.total_watts(int_heavy(), 1.0, 1.1, 1.6, 0.1);
+  const double idle = m.total_watts(int_heavy(), 0.0, 1.1, 1.6, 0.1);
+  EXPECT_LT(idle, active);
+  // Fully stalled: every unit at the gated floor.
+  const double v2f = 1.1 * 1.1 * 1.6;
+  EXPECT_NEAR(idle, cfg().ceff_base_w_per_v2ghz * v2f * 0.1, 1e-9);
+}
+
+TEST(Structures, WiderMachineBurnsMoreSchedulerPower) {
+  sim::CmpConfig wide = cfg();
+  wide.issue_width = 4;
+  wide.fetch_width = 8;
+  StructuralPowerModel narrow_m(cfg()), wide_m(wide);
+  // Compare un-normalized unit capacitances relative to the clock tree to
+  // remove the global normalization.
+  const double narrow_ratio =
+      narrow_m.unit_ceff(Unit::kScheduler) / narrow_m.unit_ceff(Unit::kIntAlu);
+  const double wide_ratio =
+      wide_m.unit_ceff(Unit::kScheduler) / wide_m.unit_ceff(Unit::kIntAlu);
+  EXPECT_NEAR(wide_ratio, narrow_ratio, 1e-9);  // both scale with issue width
+  EXPECT_GT(wide_m.unit_ceff(Unit::kFetch) / wide_m.unit_ceff(Unit::kIntAlu),
+            narrow_m.unit_ceff(Unit::kFetch) /
+                narrow_m.unit_ceff(Unit::kIntAlu) * 0.9);
+}
+
+TEST(Structures, ClockTreeIsLargestAlwaysOnConsumer) {
+  StructuralPowerModel m(cfg());
+  const auto units = m.breakdown(int_heavy(), 0.0, 1.1, 1.6, 0.1);
+  // At idle, every unit sits at the same gated fraction of its ceff, so the
+  // clock tree (largest ceff by construction) dominates.
+  double clock_w = 0.0, max_other = 0.0;
+  for (const auto& u : units) {
+    if (u.unit == Unit::kClockTree) {
+      clock_w = u.watts;
+    } else {
+      max_other = std::max(max_other, u.watts);
+    }
+  }
+  EXPECT_GT(clock_w, max_other * 0.9);
+}
+
+}  // namespace
+}  // namespace cpm::power

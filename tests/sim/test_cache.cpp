@@ -1,0 +1,168 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpm::sim {
+namespace {
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(0, 2, 64), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(16, 0, 64), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(16, 2, 63), std::invalid_argument);  // not pow2
+  EXPECT_THROW(SetAssocCache(1, 32, 64), std::invalid_argument);  // < 1 set/way
+}
+
+TEST(Cache, GeometryDerivation) {
+  SetAssocCache c(16, 2, 64);  // Table I L1: 16 KB, 2-way, 64 B
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.ways(), 2u);
+  EXPECT_EQ(c.block_bytes(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(16, 2, 64);
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1038, false));  // same 64 B block
+  EXPECT_FALSE(c.access(0x1040, false));  // next block
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c(16, 2, 64);  // 128 sets; set stride = 128*64 = 8192
+  const std::uint64_t set_stride = 128 * 64;
+  // Three distinct tags mapping to set 0: A, B, C.
+  const std::uint64_t a = 0, b = set_stride, cc = 2 * set_stride;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);     // A is now MRU, B is LRU
+  c.access(cc, false);    // evicts B
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(cc));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  SetAssocCache c(16, 2, 64);
+  const std::uint64_t set_stride = 128 * 64;
+  c.access(0, true);  // dirty
+  c.access(set_stride, false);
+  c.access(2 * set_stride, false);  // evicts the dirty block
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  // Clean eviction adds no writeback.
+  c.access(3 * set_stride, false);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  EXPECT_EQ(c.stats().evictions, 2u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHasNoCapacityMisses) {
+  SetAssocCache c(16, 2, 64);
+  // 8 KB working set in a 16 KB cache: after the first pass, all hits.
+  std::vector<std::uint64_t> addrs;
+  for (std::uint64_t a = 0; a < 8 * 1024; a += 64) addrs.push_back(a);
+  for (const auto a : addrs) c.access(a, false);
+  c.reset_stats();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto a : addrs) c.access(a, false);
+  }
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache c(16, 2, 64);
+  // 64 KB round-robin working set in a 16 KB cache with LRU: every access
+  // misses (classic LRU streaming pathology).
+  c.reset_stats();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) c.access(a, false);
+  }
+  EXPECT_GT(c.stats().miss_rate(), 0.99);
+}
+
+TEST(Cache, FlushInvalidates) {
+  SetAssocCache c(16, 2, 64);
+  c.access(0x2000, false);
+  c.flush();
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_FALSE(c.access(0x2000, false));
+}
+
+TEST(Cache, FillInstallsWithoutStats) {
+  SetAssocCache c(16, 2, 64);
+  c.fill(0x4000);
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_TRUE(c.probe(0x4000));
+  EXPECT_TRUE(c.access(0x4000, false));  // prefetched line hits
+}
+
+TEST(Hierarchy, LatencyLadder) {
+  MemoryHierarchy::Config cfg;
+  MemoryHierarchy h(cfg);
+  // Cold: full ladder (1 + 12 + 100ns * 2GHz = 213 cycles at 2 GHz).
+  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, 2.0), 1 + 12 + 200);
+  // L1 hit.
+  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, 2.0), 1);
+  EXPECT_EQ(h.memory_accesses(), 1u);
+}
+
+TEST(Hierarchy, MemoryCyclesScaleWithFrequency) {
+  MemoryHierarchy::Config cfg;
+  MemoryHierarchy slow(cfg), fast(cfg);
+  const double at_06 = slow.access_cycles(0x20000, false, 0.6);
+  const double at_20 = fast.access_cycles(0x20000, false, 2.0);
+  // Same wall-clock memory latency costs fewer cycles at a lower clock.
+  EXPECT_LT(at_06, at_20);
+  EXPECT_DOUBLE_EQ(at_06, 1 + 12 + 100.0 * 0.6);
+}
+
+TEST(Hierarchy, L2CatchesL1Victims) {
+  MemoryHierarchy::Config cfg;
+  MemoryHierarchy h(cfg);
+  // Working set of 64 KB: misses L1 (16 KB) but fits L2 (512 KB).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+      h.access_cycles(a, false, 2.0);
+    }
+  }
+  // Second pass should not have gone to memory.
+  const std::uint64_t mem_after_warm = h.memory_accesses();
+  for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+    h.access_cycles(a, false, 2.0);
+  }
+  EXPECT_EQ(h.memory_accesses(), mem_after_warm);
+}
+
+TEST(Hierarchy, StreamPrefetcherCutsStreamingMemoryTraffic) {
+  MemoryHierarchy::Config with_pf;
+  MemoryHierarchy::Config without_pf;
+  without_pf.stream_prefetcher = false;
+  MemoryHierarchy pf(with_pf), nopf(without_pf);
+  // Stream 1 MB at sub-line stride (8 accesses per line).
+  for (std::uint64_t a = 0; a < 1024 * 1024; a += 8) {
+    pf.access_cycles(a, false, 2.0);
+    nopf.access_cycles(a, false, 2.0);
+  }
+  EXPECT_LT(pf.memory_accesses(), nopf.memory_accesses() / 4);
+  EXPECT_GT(pf.prefetches(), 0u);
+}
+
+TEST(Hierarchy, PrefetcherDoesNotHelpRandomAccess) {
+  MemoryHierarchy::Config cfg;
+  MemoryHierarchy h(cfg);
+  cpm::util::Xoshiro256pp rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    h.access_cycles(rng.uniform_int(64 * 1024 * 1024) & ~63ULL, false, 2.0);
+  }
+  // Practically no sequential pairs in a random stream.
+  EXPECT_LT(static_cast<double>(h.prefetches()), 20000 * 0.01);
+}
+
+}  // namespace
+}  // namespace cpm::sim

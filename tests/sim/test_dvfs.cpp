@@ -1,0 +1,101 @@
+#include "sim/dvfs.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::sim {
+namespace {
+
+TEST(DvfsTable, PentiumMHasEightLevels) {
+  const DvfsTable& t = DvfsTable::pentium_m();
+  EXPECT_EQ(t.num_levels(), 8u);  // Table I: 8 V/f pairs
+  EXPECT_DOUBLE_EQ(t.min_freq(), 0.6);
+  EXPECT_DOUBLE_EQ(t.max_freq(), 2.0);
+}
+
+TEST(DvfsTable, MonotoneVoltageAndFrequency) {
+  const DvfsTable& t = DvfsTable::pentium_m();
+  for (std::size_t i = 1; i < t.num_levels(); ++i) {
+    EXPECT_GT(t.level(i).freq_ghz, t.level(i - 1).freq_ghz);
+    EXPECT_GT(t.level(i).voltage, t.level(i - 1).voltage);
+  }
+}
+
+TEST(DvfsTable, SortsUnorderedInput) {
+  DvfsTable t({{1.1, 2.0}, {0.9, 0.5}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(t.level(0).freq_ghz, 0.5);
+  EXPECT_DOUBLE_EQ(t.level(2).freq_ghz, 2.0);
+}
+
+TEST(DvfsTable, RejectsEmpty) {
+  EXPECT_THROW(DvfsTable({}), std::invalid_argument);
+}
+
+TEST(DvfsTable, NearestLevel) {
+  const DvfsTable& t = DvfsTable::pentium_m();
+  EXPECT_EQ(t.nearest_level(0.0), 0u);
+  EXPECT_EQ(t.nearest_level(0.69), 0u);   // closer to 0.6 than 0.8
+  EXPECT_EQ(t.nearest_level(0.75), 1u);
+  EXPECT_EQ(t.nearest_level(1.95), 7u);
+  EXPECT_EQ(t.nearest_level(99.0), 7u);
+}
+
+TEST(DvfsTable, FloorLevel) {
+  const DvfsTable& t = DvfsTable::pentium_m();
+  EXPECT_EQ(t.floor_level(0.3), 0u);  // below range -> lowest
+  EXPECT_EQ(t.floor_level(0.99), 1u);
+  EXPECT_EQ(t.floor_level(1.0), 2u);
+  EXPECT_EQ(t.floor_level(5.0), 7u);
+}
+
+TEST(Actuator, QuantizesRequests) {
+  DvfsActuator a(DvfsTable::pentium_m(), 7, 0.005, 0.5e-3);
+  EXPECT_TRUE(a.request_frequency(1.3));  // nearest level 1.2 or 1.4
+  const double f = a.operating_point().freq_ghz;
+  EXPECT_TRUE(f == 1.2 || f == 1.4);
+}
+
+TEST(Actuator, NoStallWithoutChange) {
+  DvfsActuator a(DvfsTable::pentium_m(), 3, 0.005, 0.5e-3);
+  EXPECT_FALSE(a.set_level(3));
+  EXPECT_EQ(a.pending_stall(), 0.0);
+  EXPECT_EQ(a.transition_count(), 0u);
+}
+
+TEST(Actuator, TransitionChargesStall) {
+  const double interval = 0.5e-3;
+  DvfsActuator a(DvfsTable::pentium_m(), 0, 0.005, interval);
+  EXPECT_TRUE(a.set_level(5));
+  EXPECT_DOUBLE_EQ(a.pending_stall(), 0.005 * interval);
+  EXPECT_EQ(a.transition_count(), 1u);
+}
+
+TEST(Actuator, StallAccumulatesAcrossTransitions) {
+  const double interval = 0.5e-3;
+  DvfsActuator a(DvfsTable::pentium_m(), 0, 0.005, interval);
+  a.set_level(1);
+  a.set_level(2);
+  EXPECT_DOUBLE_EQ(a.pending_stall(), 2 * 0.005 * interval);
+}
+
+TEST(Actuator, ConsumeStallDrains) {
+  const double interval = 0.5e-3;
+  DvfsActuator a(DvfsTable::pentium_m(), 0, 0.005, interval);
+  a.set_level(7);
+  const double owed = a.pending_stall();
+  const double consumed = a.consume_stall(owed / 2);
+  EXPECT_DOUBLE_EQ(consumed, owed / 2);
+  EXPECT_DOUBLE_EQ(a.pending_stall(), owed / 2);
+  // Draining more than owed only consumes what is left.
+  EXPECT_DOUBLE_EQ(a.consume_stall(1.0), owed / 2);
+  EXPECT_DOUBLE_EQ(a.pending_stall(), 0.0);
+}
+
+TEST(Actuator, LevelClampedToTable) {
+  DvfsActuator a(DvfsTable::pentium_m(), 99, 0.005, 0.5e-3);
+  EXPECT_EQ(a.current_level(), 7u);
+  a.set_level(50);
+  EXPECT_EQ(a.current_level(), 7u);
+}
+
+}  // namespace
+}  // namespace cpm::sim

@@ -1,0 +1,85 @@
+#include "sim/island.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.h"
+
+namespace cpm::sim {
+namespace {
+
+Island make_island(std::size_t cores = 2, std::size_t initial_level = 7) {
+  std::vector<CoreModel> models;
+  for (std::size_t c = 0; c < cores; ++c) {
+    models.emplace_back(workload::find_profile(c % 2 ? "sclust" : "bschls"),
+                        100 + c, 0.5);
+  }
+  return Island(std::move(models),
+                DvfsActuator(DvfsTable::pentium_m(), initial_level, 0.005,
+                             0.5e-3));
+}
+
+TEST(Island, RejectsEmptyCoreList) {
+  EXPECT_THROW(Island({}, DvfsActuator(DvfsTable::pentium_m(), 0, 0.005,
+                                       0.5e-3)),
+               std::invalid_argument);
+}
+
+TEST(Island, AggregatesCores) {
+  Island island = make_island(2);
+  const IslandTick tick = island.step(1e-4, 0.0);
+  ASSERT_EQ(tick.cores.size(), 2u);
+  double bips = 0.0, util = 0.0;
+  for (const auto& c : tick.cores) {
+    bips += c.bips;
+    util += c.utilization;
+  }
+  EXPECT_NEAR(tick.bips, bips, 1e-12);
+  EXPECT_NEAR(tick.utilization, util / 2.0, 1e-12);
+}
+
+TEST(Island, SharedOperatingPoint) {
+  Island island = make_island(2, 3);
+  EXPECT_DOUBLE_EQ(island.operating_point().freq_ghz, 1.2);
+  island.actuator().set_level(0);
+  EXPECT_DOUBLE_EQ(island.operating_point().freq_ghz, 0.6);
+}
+
+TEST(Island, TransitionStallHitsAllCoresEqually) {
+  Island island = make_island(2, 7);
+  island.actuator().set_level(0);  // owes 2.5 us of stall
+  const IslandTick tick = island.step(1e-6, 0.0);  // 1 us tick
+  for (const auto& c : tick.cores) {
+    EXPECT_DOUBLE_EQ(c.stall_fraction, 1.0);
+  }
+  // Stall drains: after 2 more 1 us ticks, cores run again.
+  island.step(1e-6, 0.0);
+  const IslandTick after = island.step(1e-6, 0.0);
+  for (const auto& c : after.cores) {
+    EXPECT_LT(c.stall_fraction, 1.0);
+  }
+}
+
+TEST(Island, LowerFrequencyLowersThroughput) {
+  Island fast = make_island(2, 7);
+  Island slow = make_island(2, 0);
+  double fast_bips = 0.0, slow_bips = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    fast_bips += fast.step(1e-4, 0.0).bips;
+    slow_bips += slow.step(1e-4, 0.0).bips;
+  }
+  EXPECT_GT(fast_bips, slow_bips);
+}
+
+TEST(Island, CongestionPassedToCores) {
+  Island free = make_island(2, 7);
+  Island jammed = make_island(2, 7);
+  double free_bips = 0.0, jammed_bips = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    free_bips += free.step(1e-4, 0.0).bips;
+    jammed_bips += jammed.step(1e-4, 3.0).bips;
+  }
+  EXPECT_GT(free_bips, jammed_bips);
+}
+
+}  // namespace
+}  // namespace cpm::sim

@@ -1,0 +1,108 @@
+#include "sim/noc.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::sim {
+namespace {
+
+NocConfig mesh24() {
+  NocConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 4;
+  return cfg;
+}
+
+TEST(Noc, RejectsEmptyMesh) {
+  NocConfig bad;
+  bad.rows = 0;
+  EXPECT_THROW(MeshNoc{bad}, std::invalid_argument);
+}
+
+TEST(Noc, ManhattanDistances) {
+  MeshNoc noc(mesh24());
+  // Layout: 0 1 2 3 / 4 5 6 7.
+  EXPECT_EQ(noc.hop_distance(0, 0), 0u);
+  EXPECT_EQ(noc.hop_distance(0, 1), 1u);
+  EXPECT_EQ(noc.hop_distance(0, 3), 3u);
+  EXPECT_EQ(noc.hop_distance(0, 4), 1u);
+  EXPECT_EQ(noc.hop_distance(0, 7), 4u);
+  EXPECT_EQ(noc.hop_distance(3, 4), 4u);
+}
+
+TEST(Noc, DistanceSymmetric) {
+  MeshNoc noc(mesh24());
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      EXPECT_EQ(noc.hop_distance(a, b), noc.hop_distance(b, a));
+    }
+  }
+}
+
+TEST(Noc, LatencyGrowsWithHops) {
+  MeshNoc noc(mesh24());
+  EXPECT_LT(noc.latency_cycles(0, 1, 0.0), noc.latency_cycles(0, 7, 0.0));
+  // Zero hops still pays the interface cost.
+  EXPECT_DOUBLE_EQ(noc.latency_cycles(0, 0, 0.0),
+                   mesh24().interface_latency_cycles);
+}
+
+TEST(Noc, ContentionInflatesLatency) {
+  MeshNoc noc(mesh24());
+  const double idle = noc.latency_cycles(0, 7, 0.0);
+  const double busy = noc.latency_cycles(0, 7, 0.5);
+  const double saturated = noc.latency_cycles(0, 7, 0.94);
+  EXPECT_GT(busy, idle);
+  EXPECT_GT(saturated, busy * 3.0);
+  // Overload is clamped (no infinities).
+  EXPECT_DOUBLE_EQ(noc.latency_cycles(0, 7, 2.0),
+                   noc.latency_cycles(0, 7, 0.95));
+}
+
+TEST(Noc, IslandCrossingsAlongXyRoute) {
+  MeshNoc noc(mesh24());
+  // Islands of 2 consecutive nodes: {0,1} {2,3} {4,5} {6,7}.
+  EXPECT_EQ(noc.island_crossings(0, 1, 2), 0u);  // same island
+  EXPECT_EQ(noc.island_crossings(0, 2, 2), 1u);  // into {2,3}
+  EXPECT_EQ(noc.island_crossings(0, 3, 2), 1u);
+  // 0 -> 7: X-walk 0->1->2->3 (one crossing), then Y 3->7 (into {6,7}).
+  EXPECT_EQ(noc.island_crossings(0, 7, 2), 2u);
+  // Disabled islands: no crossings.
+  EXPECT_EQ(noc.island_crossings(0, 7, 0), 0u);
+}
+
+TEST(Noc, CdcPenaltyAppliedPerCrossing) {
+  NocConfig cfg = mesh24();
+  cfg.cdc_penalty_cycles = 10.0;
+  MeshNoc noc(cfg);
+  const double without = noc.latency_cycles(0, 3, 0.0, 0);
+  const double with = noc.latency_cycles(0, 3, 0.0, 2);
+  EXPECT_DOUBLE_EQ(with - without, 10.0);  // one crossing on that route
+}
+
+TEST(Noc, EnergyProportionalToFlitHops) {
+  MeshNoc noc(mesh24());
+  EXPECT_DOUBLE_EQ(noc.transfer_energy_pj(0, 7, 4),
+                   4.0 * 4 * mesh24().energy_pj_per_flit_hop);
+  EXPECT_DOUBLE_EQ(noc.transfer_energy_pj(3, 3, 100), 0.0);
+}
+
+TEST(Noc, AccountingAccumulates) {
+  MeshNoc noc(mesh24());
+  noc.record_transfer(0, 7, 2);  // 8 flit-hops
+  noc.record_transfer(0, 1, 1);  // 1 flit-hop
+  EXPECT_EQ(noc.total_flit_hops(), 9u);
+  EXPECT_DOUBLE_EQ(noc.total_energy_pj(),
+                   9.0 * mesh24().energy_pj_per_flit_hop);
+}
+
+TEST(Noc, LargerMeshLongerWorstCase) {
+  NocConfig big;
+  big.rows = 4;
+  big.cols = 8;
+  MeshNoc noc32(big);
+  MeshNoc noc8(mesh24());
+  EXPECT_GT(noc32.hop_distance(0, 31), noc8.hop_distance(0, 7));
+}
+
+}  // namespace
+}  // namespace cpm::sim

@@ -1,0 +1,120 @@
+#include "sim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.h"
+
+namespace cpm::sim {
+namespace {
+
+PipelineRunStats measure(const char* name, double freq_ghz,
+                         std::uint64_t cycles = 400000) {
+  PipelineCore core(PipelineConfig{}, workload::micro_behavior(name), 42);
+  core.run_cycles(100000, freq_ghz);  // cache warmup
+  return core.run_cycles(cycles, freq_ghz);
+}
+
+TEST(Pipeline, CpiAboveCommitWidthFloor) {
+  // commit width 2 -> CPI >= 0.5 always.
+  for (const char* name : {"blackscholes", "canneal"}) {
+    const PipelineRunStats s = measure(name, 2.0);
+    EXPECT_GE(s.cpi(), 0.5) << name;
+    EXPECT_GT(s.instructions, 0.0) << name;
+  }
+}
+
+TEST(Pipeline, CpuBoundVsMemoryBoundCpi) {
+  // Memory-bound codes must show distinctly higher CPI at fmax.
+  const double cpu = measure("blackscholes", 2.0).cpi();
+  const double mem = measure("canneal", 2.0).cpi();
+  EXPECT_GT(mem, cpu * 1.8);
+}
+
+TEST(Pipeline, FrequencySpeedupSeparatesClasses) {
+  // BIPS(2.0) / BIPS(0.6): near-linear (> 1.8x) for CPU-bound, weak
+  // (< 1.4x) for memory-bound -- the behaviour the analytic micro-model
+  // encodes and the controllers exploit.
+  auto speedup = [&](const char* name) {
+    const double lo = 0.6 / measure(name, 0.6).cpi();
+    const double hi = 2.0 / measure(name, 2.0).cpi();
+    return hi / lo;
+  };
+  EXPECT_GT(speedup("blackscholes"), 1.8);
+  EXPECT_GT(speedup("sixtrack"), 1.8);
+  EXPECT_LT(speedup("canneal"), 1.4);
+  EXPECT_LT(speedup("streamcluster"), 1.4);
+}
+
+TEST(Pipeline, UtilizationDropsWithFrequencyForMemoryBound) {
+  EXPECT_GT(measure("canneal", 0.6).utilization(),
+            measure("canneal", 2.0).utilization());
+}
+
+TEST(Pipeline, Deterministic) {
+  PipelineCore a(PipelineConfig{}, workload::micro_behavior("x264"), 7);
+  PipelineCore b(PipelineConfig{}, workload::micro_behavior("x264"), 7);
+  const PipelineRunStats sa = a.run_cycles(100000, 1.4);
+  const PipelineRunStats sb = b.run_cycles(100000, 1.4);
+  EXPECT_DOUBLE_EQ(sa.instructions, sb.instructions);
+  EXPECT_DOUBLE_EQ(sa.commit_busy_cycles, sb.commit_busy_cycles);
+}
+
+TEST(Pipeline, MispredictionsCauseFetchStalls) {
+  // gcc has a 6 % mispredict rate and 15 % branches; fetch stalls must be a
+  // visible share of cycles.
+  PipelineCore core(PipelineConfig{}, workload::micro_behavior("gcc"), 3);
+  const PipelineRunStats s = core.run_cycles(200000, 2.0);
+  EXPECT_GT(s.fetch_stall_cycles, s.cycles * 0.05);
+  // sixtrack (1 % mispredicts, 3 % branches) stalls far less.
+  PipelineCore quiet(PipelineConfig{}, workload::micro_behavior("sixtrack"), 3);
+  const PipelineRunStats q = quiet.run_cycles(200000, 2.0);
+  EXPECT_LT(q.fetch_stall_cycles, s.fetch_stall_cycles);
+}
+
+TEST(Pipeline, RobFillsUpUnderMemoryPressure) {
+  PipelineCore core(PipelineConfig{}, workload::micro_behavior("canneal"), 5);
+  core.run_cycles(50000, 2.0);
+  const PipelineRunStats s = core.run_cycles(200000, 2.0);
+  EXPECT_GT(s.rob_full_cycles, 0.0);
+}
+
+TEST(Pipeline, SmallerRobHurtsMemoryBoundCode) {
+  // Less memory-level parallelism -> higher CPI for canneal.
+  PipelineConfig big, small;
+  small.rob_entries = 16;
+  PipelineCore b(big, workload::micro_behavior("canneal"), 9);
+  PipelineCore s(small, workload::micro_behavior("canneal"), 9);
+  b.run_cycles(50000, 2.0);
+  s.run_cycles(50000, 2.0);
+  EXPECT_GT(s.run_cycles(200000, 2.0).cpi(), b.run_cycles(200000, 2.0).cpi());
+}
+
+TEST(Pipeline, WiderCommitHelpsComputeBoundCode) {
+  PipelineConfig narrow, wide;
+  wide.commit_width = 4;
+  wide.issue_width = 4;
+  PipelineCore n(narrow, workload::micro_behavior("sixtrack"), 11);
+  PipelineCore w(wide, workload::micro_behavior("sixtrack"), 11);
+  n.run_cycles(50000, 2.0);
+  w.run_cycles(50000, 2.0);
+  EXPECT_LT(w.run_cycles(200000, 2.0).cpi(), n.run_cycles(200000, 2.0).cpi());
+}
+
+TEST(Pipeline, HostilityRaisesCpi) {
+  PipelineCore core(PipelineConfig{}, workload::micro_behavior("vips"), 13);
+  core.run_cycles(50000, 2.0);
+  const double nominal = core.run_cycles(150000, 2.0, 1.0).cpi();
+  const double hostile = core.run_cycles(150000, 2.0, 4.0).cpi();
+  EXPECT_GT(hostile, nominal);
+}
+
+TEST(Pipeline, StatsAreConsistent) {
+  const PipelineRunStats s = measure("bodytrack", 1.4);
+  EXPECT_DOUBLE_EQ(s.cycles, 400000.0);
+  EXPECT_LE(s.commit_busy_cycles, s.cycles);
+  EXPECT_LE(s.fetch_stall_cycles + s.rob_full_cycles, s.cycles);
+  EXPECT_NEAR(s.cpi() * s.instructions, s.cycles, 1.0);
+}
+
+}  // namespace
+}  // namespace cpm::sim

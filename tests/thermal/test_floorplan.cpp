@@ -1,0 +1,66 @@
+#include "thermal/floorplan.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::thermal {
+namespace {
+
+TEST(Floorplan, RejectsEmpty) {
+  EXPECT_THROW(Floorplan(0, 4), std::invalid_argument);
+  EXPECT_THROW(Floorplan(2, 0), std::invalid_argument);
+}
+
+TEST(Floorplan, PositionsRowMajor) {
+  Floorplan fp(2, 4);
+  EXPECT_EQ(fp.num_cores(), 8u);
+  EXPECT_EQ(fp.position(0).row, 0u);
+  EXPECT_EQ(fp.position(0).col, 0u);
+  EXPECT_EQ(fp.position(5).row, 1u);
+  EXPECT_EQ(fp.position(5).col, 1u);
+  EXPECT_EQ(fp.core_at(1, 3), 7u);
+}
+
+TEST(Floorplan, CornerHasTwoNeighbors) {
+  Floorplan fp(2, 4);
+  const auto& n = fp.neighbors(0);
+  EXPECT_EQ(n.size(), 2u);
+}
+
+TEST(Floorplan, InteriorHasFourNeighbors) {
+  Floorplan fp(3, 3);
+  EXPECT_EQ(fp.neighbors(4).size(), 4u);  // center of 3x3
+}
+
+TEST(Floorplan, EdgeHasThreeNeighbors) {
+  Floorplan fp(2, 4);
+  EXPECT_EQ(fp.neighbors(1).size(), 3u);
+}
+
+TEST(Floorplan, AdjacencyIsSymmetric) {
+  Floorplan fp(2, 4);
+  for (std::size_t a = 0; a < fp.num_cores(); ++a) {
+    for (std::size_t b = 0; b < fp.num_cores(); ++b) {
+      EXPECT_EQ(fp.adjacent(a, b), fp.adjacent(b, a));
+    }
+  }
+}
+
+TEST(Floorplan, AdjacencyMatchesGrid) {
+  Floorplan fp(2, 4);
+  EXPECT_TRUE(fp.adjacent(0, 1));   // same row
+  EXPECT_TRUE(fp.adjacent(0, 4));   // same column
+  EXPECT_FALSE(fp.adjacent(0, 5));  // diagonal
+  EXPECT_FALSE(fp.adjacent(0, 3));  // far apart
+  EXPECT_FALSE(fp.adjacent(0, 0));  // self
+}
+
+TEST(Floorplan, SingleRowChain) {
+  Floorplan fp(1, 8);
+  EXPECT_EQ(fp.neighbors(0).size(), 1u);
+  EXPECT_EQ(fp.neighbors(3).size(), 2u);
+  EXPECT_TRUE(fp.adjacent(3, 4));
+  EXPECT_FALSE(fp.adjacent(3, 5));
+}
+
+}  // namespace
+}  // namespace cpm::thermal

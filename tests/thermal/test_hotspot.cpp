@@ -1,0 +1,68 @@
+#include "thermal/hotspot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpm::thermal {
+namespace {
+
+TEST(Hotspot, RejectsZeroCores) {
+  EXPECT_THROW(HotspotDetector(0, 85.0), std::invalid_argument);
+}
+
+TEST(Hotspot, NoViolationBelowThreshold) {
+  HotspotDetector d(2, 85.0);
+  EXPECT_FALSE(d.record(std::vector<double>{70.0, 80.0}, 0.001));
+  EXPECT_DOUBLE_EQ(d.hot_fraction(), 0.0);
+  EXPECT_EQ(d.events(), 0u);
+}
+
+TEST(Hotspot, DetectsHotCore) {
+  HotspotDetector d(2, 85.0);
+  EXPECT_TRUE(d.record(std::vector<double>{90.0, 70.0}, 0.001));
+  EXPECT_DOUBLE_EQ(d.hot_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(d.core_hot_seconds()[0], 0.001);
+  EXPECT_DOUBLE_EQ(d.core_hot_seconds()[1], 0.0);
+}
+
+TEST(Hotspot, FractionOverMixedHistory) {
+  HotspotDetector d(1, 85.0);
+  d.record(std::vector<double>{90.0}, 0.001);
+  d.record(std::vector<double>{80.0}, 0.001);
+  d.record(std::vector<double>{80.0}, 0.002);
+  EXPECT_NEAR(d.hot_fraction(), 0.25, 1e-12);
+}
+
+TEST(Hotspot, EventsCountRisingEdges) {
+  HotspotDetector d(1, 85.0);
+  d.record(std::vector<double>{90.0}, 0.001);  // edge 1
+  d.record(std::vector<double>{90.0}, 0.001);  // still hot, same event
+  d.record(std::vector<double>{70.0}, 0.001);
+  d.record(std::vector<double>{90.0}, 0.001);  // edge 2
+  EXPECT_EQ(d.events(), 2u);
+}
+
+TEST(Hotspot, ExactThresholdIsNotHot) {
+  HotspotDetector d(1, 85.0);
+  EXPECT_FALSE(d.record(std::vector<double>{85.0}, 0.001));
+}
+
+TEST(Hotspot, ResetClearsEverything) {
+  HotspotDetector d(2, 85.0);
+  d.record(std::vector<double>{90.0, 90.0}, 0.5);
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.observed_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(d.hot_seconds(), 0.0);
+  EXPECT_EQ(d.events(), 0u);
+  EXPECT_DOUBLE_EQ(d.core_hot_seconds()[0], 0.0);
+}
+
+TEST(Hotspot, SizeMismatchThrows) {
+  HotspotDetector d(2, 85.0);
+  EXPECT_THROW(d.record(std::vector<double>{90.0}, 0.001),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpm::thermal

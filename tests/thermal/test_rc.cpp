@@ -1,0 +1,121 @@
+#include "thermal/rc_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpm::thermal {
+namespace {
+
+ThermalParams params() {
+  ThermalParams p;
+  p.ambient_c = 45.0;
+  p.vertical_conductance = 0.8;
+  p.lateral_conductance = 2.0;
+  p.capacitance = 0.02;
+  return p;
+}
+
+TEST(RcModel, RejectsNonPhysicalParams) {
+  ThermalParams bad = params();
+  bad.capacitance = 0.0;
+  EXPECT_THROW(RcThermalModel(Floorplan(1, 1), bad), std::invalid_argument);
+}
+
+TEST(RcModel, StartsAtAmbient) {
+  RcThermalModel m(Floorplan(2, 4), params());
+  for (const double t : m.temperatures()) EXPECT_DOUBLE_EQ(t, 45.0);
+}
+
+TEST(RcModel, SingleNodeSteadyStateAnalytic) {
+  // One core, no neighbours: T = T_amb + P/G_v.
+  RcThermalModel m(Floorplan(1, 1), params());
+  const std::vector<double> p{8.0};
+  const auto ss = m.steady_state(p);
+  EXPECT_NEAR(ss[0], 45.0 + 8.0 / 0.8, 1e-9);
+}
+
+TEST(RcModel, IntegrationConvergesToSteadyState) {
+  RcThermalModel m(Floorplan(2, 2), params());
+  const std::vector<double> p{10.0, 2.0, 5.0, 1.0};
+  for (int i = 0; i < 5000; ++i) m.step(p, 1e-3);  // 5 s >> time constant
+  const auto ss = m.steady_state(p);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(m.temperature(i), ss[i], 0.01) << "core " << i;
+  }
+}
+
+TEST(RcModel, UniformPowerEqualsSingleNodeSolution) {
+  // With identical power everywhere, lateral flows vanish.
+  RcThermalModel m(Floorplan(2, 4), params());
+  const std::vector<double> p(8, 6.0);
+  const auto ss = m.steady_state(p);
+  for (const double t : ss) EXPECT_NEAR(t, 45.0 + 6.0 / 0.8, 1e-9);
+}
+
+TEST(RcModel, HeatSpreadsToNeighbors) {
+  RcThermalModel m(Floorplan(1, 3), params());
+  const std::vector<double> p{0.0, 9.0, 0.0};
+  const auto ss = m.steady_state(p);
+  // Middle is hottest; edges warmer than ambient via lateral conduction.
+  EXPECT_GT(ss[1], ss[0]);
+  EXPECT_NEAR(ss[0], ss[2], 1e-9);  // symmetry
+  EXPECT_GT(ss[0], 45.0);
+}
+
+TEST(RcModel, MonotoneHeatingUnderConstantPower) {
+  RcThermalModel m(Floorplan(1, 1), params());
+  const std::vector<double> p{5.0};
+  double prev = m.temperature(0);
+  for (int i = 0; i < 50; ++i) {
+    m.step(p, 1e-4);
+    EXPECT_GE(m.temperature(0), prev);
+    prev = m.temperature(0);
+  }
+}
+
+TEST(RcModel, CoolsWhenPowerRemoved) {
+  RcThermalModel m(Floorplan(1, 1), params());
+  const std::vector<double> heat{10.0}, off{0.0};
+  for (int i = 0; i < 1000; ++i) m.step(heat, 1e-3);
+  const double hot = m.temperature(0);
+  for (int i = 0; i < 5000; ++i) m.step(off, 1e-3);
+  EXPECT_LT(m.temperature(0), hot);
+  EXPECT_NEAR(m.temperature(0), 45.0, 0.05);
+}
+
+TEST(RcModel, StableWithLargeTimestep) {
+  // Internal substepping must keep explicit Euler stable even when the
+  // caller's dt exceeds the stability bound.
+  RcThermalModel m(Floorplan(2, 4), params());
+  const std::vector<double> p(8, 5.0);
+  for (int i = 0; i < 100; ++i) m.step(p, 0.1);  // dt >> 2C/G
+  for (const double t : m.temperatures()) {
+    EXPECT_GT(t, 45.0);
+    EXPECT_LT(t, 60.0);  // bounded, no oscillatory blow-up
+  }
+}
+
+TEST(RcModel, ResetRestoresTemperature) {
+  RcThermalModel m(Floorplan(1, 2), params());
+  m.step(std::vector<double>{5.0, 5.0}, 0.01);
+  m.reset(50.0);
+  EXPECT_DOUBLE_EQ(m.temperature(0), 50.0);
+  EXPECT_DOUBLE_EQ(m.temperature(1), 50.0);
+}
+
+TEST(RcModel, SizeMismatchThrows) {
+  RcThermalModel m(Floorplan(2, 2), params());
+  EXPECT_THROW(m.step(std::vector<double>{1.0}, 1e-3), std::invalid_argument);
+  EXPECT_THROW(m.steady_state(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RcModel, MaxTemperature) {
+  RcThermalModel m(Floorplan(1, 3), params());
+  const std::vector<double> p{0.0, 9.0, 0.0};
+  for (int i = 0; i < 2000; ++i) m.step(p, 1e-3);
+  EXPECT_DOUBLE_EQ(m.max_temperature(), m.temperature(1));
+}
+
+}  // namespace
+}  // namespace cpm::thermal

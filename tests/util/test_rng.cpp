@@ -1,0 +1,132 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cpm::util {
+namespace {
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256pp a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b()) << "diverged at step " << i;
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256pp a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanNearHalf) {
+  Xoshiro256pp rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntBounds) {
+  Xoshiro256pp rng(9);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++hist[v];
+  }
+  // Roughly uniform: each bucket within 30 % of the expected 1000.
+  for (const int count : hist) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(Xoshiro, UniformIntZeroYieldsZero) {
+  Xoshiro256pp rng(3);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256pp rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalScaled) {
+  Xoshiro256pp rng(17);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Xoshiro, BernoulliEdges) {
+  Xoshiro256pp rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliRate) {
+  Xoshiro256pp rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256pp parent(31);
+  Xoshiro256pp child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Splitmix, KnownProgression) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Deterministic given the algorithm (regression guard).
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace cpm::util

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpm::util {
+namespace {
+
+TEST(AsciiTable, FormatsAlignedColumns) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(AsciiTable, RejectsWrongArity) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(AsciiTable::pct(0.0423, 1), "4.2%");
+  EXPECT_EQ(AsciiTable::pct(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, EscapesNewline) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"line1\nline2"});
+  EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+}  // namespace
+}  // namespace cpm::util

@@ -1,0 +1,105 @@
+#include "workload/custom.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "sim/chip.h"
+
+namespace cpm::workload {
+namespace {
+
+BenchmarkProfile base() { return find_profile("bschls"); }
+
+TEST(CustomProfile, BuildsFromTrace) {
+  const std::vector<DemandSample> trace{{1.0, 1.0, 1.0, 5.0},
+                                        {1.3, 2.0, 0.8, 3.0}};
+  const OwnedProfile owned = profile_from_trace("mytrace", base(), trace);
+  const BenchmarkProfile& p = owned.profile();
+  EXPECT_EQ(p.name, "mytrace");
+  ASSERT_EQ(p.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.phases[1].mem_mult, 2.0);
+  EXPECT_DOUBLE_EQ(p.phases[1].activity_mult, 0.8);
+  EXPECT_DOUBLE_EQ(p.phase_time_scale, 1.0);  // durations replay verbatim
+  EXPECT_DOUBLE_EQ(p.cpi_base, base().cpi_base);  // base parameters kept
+}
+
+TEST(CustomProfile, RejectsBadTraces) {
+  EXPECT_THROW(profile_from_trace("x", base(), {}), std::invalid_argument);
+  EXPECT_THROW(profile_from_trace("x", base(), {{0.0, 1, 1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(profile_from_trace("x", base(), {{1, 1, 1, -2.0}}),
+               std::invalid_argument);
+}
+
+TEST(CustomProfile, SurvivesMove) {
+  OwnedProfile a = profile_from_trace("moved", base(), {{1, 1, 1, 2.0}});
+  OwnedProfile b = std::move(a);
+  EXPECT_EQ(b.profile().name, "moved");
+  ASSERT_EQ(b.profile().phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.profile().phases[0].duration_ms, 2.0);
+}
+
+TEST(CustomProfile, RunsOnACore) {
+  const OwnedProfile owned = profile_from_trace(
+      "replay", base(), {{1.0, 1.0, 1.2, 2.0}, {1.5, 1.0, 0.7, 2.0}});
+  WorkloadInstance w(owned.profile(), 42);
+  double sum_cpi = 0.0;
+  for (int i = 0; i < 1000; ++i) sum_cpi += w.step(1e-4).cpi;
+  EXPECT_GT(sum_cpi, 0.0);
+}
+
+TEST(CustomProfile, RunsThroughFullSimulation) {
+  // Replace Mix-1's blackscholes with a trace-driven profile and run the
+  // whole two-tier simulation on it.
+  const OwnedProfile owned = profile_from_trace(
+      "recorded-app", base(),
+      {{0.9, 1.0, 1.1, 6.0}, {1.2, 1.6, 0.8, 4.0}, {1.0, 1.0, 1.0, 5.0}});
+  core::SimulationConfig cfg = core::default_config(0.8, 3);
+  cfg.mix.islands[0][0] = &owned.profile();
+  core::Simulation sim(cfg);
+  const core::SimulationResult res = sim.run(0.05);
+  EXPECT_GT(res.total_instructions, 0.0);
+  const core::ChipTrackingMetrics chip =
+      core::chip_tracking_metrics(res.gpm_records);
+  EXPECT_LT(chip.max_overshoot, 0.15);
+}
+
+TEST(TraceCsv, ParsesWellFormedInput) {
+  std::stringstream ss(
+      "cpi_mult,mem_mult,activity_mult,duration_ms\n"
+      "1.0,1.0,1.0,5.0\n"
+      "1.3,2.0,0.8,3.5\n");
+  const auto samples = load_demand_trace_csv(ss);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[1].duration_ms, 3.5);
+  EXPECT_DOUBLE_EQ(samples[1].mem_mult, 2.0);
+}
+
+TEST(TraceCsv, SkipsBlankLines) {
+  std::stringstream ss(
+      "cpi_mult,mem_mult,activity_mult,duration_ms\n"
+      "1.0,1.0,1.0,5.0\n"
+      "\n");
+  EXPECT_EQ(load_demand_trace_csv(ss).size(), 1u);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(load_demand_trace_csv(empty), std::runtime_error);
+
+  std::stringstream no_header("1.0,1.0,1.0,5.0\n");
+  EXPECT_THROW(load_demand_trace_csv(no_header), std::runtime_error);
+
+  std::stringstream short_row(
+      "cpi_mult,mem_mult,activity_mult,duration_ms\n1.0,1.0\n");
+  EXPECT_THROW(load_demand_trace_csv(short_row), std::runtime_error);
+
+  std::stringstream bad_number(
+      "cpi_mult,mem_mult,activity_mult,duration_ms\na,b,c,d\n");
+  EXPECT_THROW(load_demand_trace_csv(bad_number), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpm::workload

@@ -1,0 +1,113 @@
+#include "workload/memtrace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/profile.h"
+
+namespace cpm::workload {
+namespace {
+
+TEST(MicroBehavior, CoversEveryProfile) {
+  for (const auto& p : parsec_profiles()) {
+    EXPECT_NO_THROW(micro_behavior(p.name)) << p.name;
+  }
+  for (const auto& p : spec_profiles()) {
+    EXPECT_NO_THROW(micro_behavior(p.name)) << p.name;
+  }
+}
+
+TEST(MicroBehavior, UnknownThrows) {
+  EXPECT_THROW(micro_behavior("nonexistent"), std::invalid_argument);
+}
+
+TEST(MicroBehavior, MixesSumToOne) {
+  for (const auto& p : parsec_profiles()) {
+    const InstructionMix& m = micro_behavior(p.name).mix;
+    EXPECT_NEAR(m.int_alu + m.fp_alu + m.load + m.store + m.branch, 1.0, 1e-9)
+        << p.name;
+  }
+}
+
+TEST(MicroBehavior, MemoryBoundHaveLargeWorkingSets) {
+  // Memory-bound codes must not fit the 512 KB L2 slice; CPU-bound must fit.
+  for (const auto& p : parsec_profiles()) {
+    const auto& ws = micro_behavior(p.name).stream.working_set_kb;
+    if (p.cpu_bound()) {
+      EXPECT_LE(ws, 512u) << p.name;
+    } else {
+      EXPECT_GT(ws, 512u) << p.name;
+    }
+  }
+}
+
+TEST(AddressStream, Deterministic) {
+  const auto& cfg = micro_behavior("canneal").stream;
+  AddressStream a(cfg, 9), b(cfg, 9);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(AddressStream, AddressesWithinBounds) {
+  const auto& cfg = micro_behavior("x264").stream;
+  AddressStream s(cfg, 3);
+  const std::uint64_t limit =
+      static_cast<std::uint64_t>(cfg.footprint_mb) * 1024 * 1024 +
+      static_cast<std::uint64_t>(cfg.working_set_kb) * 1024;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(s.next(), limit);
+  }
+}
+
+TEST(AddressStream, HostilityIncreasesColdTraffic) {
+  // Higher hostility -> more distinct 64 B blocks touched.
+  const auto& cfg = micro_behavior("vips").stream;
+  auto distinct_blocks = [&](double hostility) {
+    AddressStream s(cfg, 5);
+    std::map<std::uint64_t, int> blocks;
+    for (int i = 0; i < 20000; ++i) ++blocks[s.next(hostility) / 64];
+    return blocks.size();
+  };
+  EXPECT_GT(distinct_blocks(3.0), distinct_blocks(1.0));
+}
+
+TEST(InstructionStream, KindFrequenciesMatchMix) {
+  const MicroArchBehavior& b = micro_behavior("freqmine");
+  InstructionStream s(b, 11);
+  std::map<InstrKind, int> hist;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++hist[s.next().kind];
+  EXPECT_NEAR(hist[InstrKind::kIntAlu] / double(kN), b.mix.int_alu, 0.01);
+  EXPECT_NEAR(hist[InstrKind::kLoad] / double(kN), b.mix.load, 0.01);
+  EXPECT_NEAR(hist[InstrKind::kBranch] / double(kN), b.mix.branch, 0.01);
+}
+
+TEST(InstructionStream, MemoryOpsCarryAddresses) {
+  InstructionStream s(micro_behavior("canneal"), 13);
+  bool saw_nonzero_load_addr = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto instr = s.next();
+    if (instr.kind == InstrKind::kLoad && instr.address != 0) {
+      saw_nonzero_load_addr = true;
+    }
+  }
+  EXPECT_TRUE(saw_nonzero_load_addr);
+}
+
+TEST(InstructionStream, MispredictRateMatches) {
+  const MicroArchBehavior& b = micro_behavior("gcc");
+  InstructionStream s(b, 17);
+  int branches = 0, mispredicts = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto instr = s.next();
+    if (instr.kind == InstrKind::kBranch) {
+      ++branches;
+      mispredicts += instr.mispredicted;
+    }
+  }
+  ASSERT_GT(branches, 0);
+  EXPECT_NEAR(mispredicts / double(branches), b.branch_mispredict_rate, 0.01);
+}
+
+}  // namespace
+}  // namespace cpm::workload

@@ -1,0 +1,101 @@
+#include "workload/mixes.h"
+
+#include <gtest/gtest.h>
+
+namespace cpm::workload {
+namespace {
+
+TEST(Mixes, Mix1MatchesTableIIIa) {
+  const Mix m = mix1();
+  ASSERT_EQ(m.num_islands(), 4u);
+  ASSERT_EQ(m.cores_per_island(), 2u);
+  EXPECT_EQ(m.total_cores(), 8u);
+  EXPECT_EQ(m.islands[0][0]->short_name, "bschls");
+  EXPECT_EQ(m.islands[0][1]->short_name, "sclust");
+  EXPECT_EQ(m.islands[1][0]->short_name, "btrack");
+  EXPECT_EQ(m.islands[1][1]->short_name, "fsim");
+  EXPECT_EQ(m.islands[2][0]->short_name, "fmine");
+  EXPECT_EQ(m.islands[2][1]->short_name, "canneal");
+  EXPECT_EQ(m.islands[3][0]->short_name, "x264");
+  EXPECT_EQ(m.islands[3][1]->short_name, "vips");
+}
+
+TEST(Mixes, Mix1PairsCpuWithMemory) {
+  for (const auto& island : mix1().islands) {
+    EXPECT_TRUE(island[0]->cpu_bound());
+    EXPECT_FALSE(island[1]->cpu_bound());
+  }
+}
+
+TEST(Mixes, Mix2IsHomogeneousPerIsland) {
+  const Mix m = mix2();
+  ASSERT_EQ(m.num_islands(), 4u);
+  // Table III(b): C,C / M,M / C,C / M,M.
+  EXPECT_TRUE(m.islands[0][0]->cpu_bound() && m.islands[0][1]->cpu_bound());
+  EXPECT_FALSE(m.islands[1][0]->cpu_bound() || m.islands[1][1]->cpu_bound());
+  EXPECT_TRUE(m.islands[2][0]->cpu_bound() && m.islands[2][1]->cpu_bound());
+  EXPECT_FALSE(m.islands[3][0]->cpu_bound() || m.islands[3][1]->cpu_bound());
+}
+
+TEST(Mixes, Mix3SixteenCore) {
+  const Mix m = mix3(1);
+  EXPECT_EQ(m.num_islands(), 4u);
+  EXPECT_EQ(m.cores_per_island(), 4u);
+  EXPECT_EQ(m.total_cores(), 16u);
+  // All-C and all-M islands alternate (Table III(c)).
+  for (const auto* p : m.islands[0]) EXPECT_TRUE(p->cpu_bound());
+  for (const auto* p : m.islands[1]) EXPECT_FALSE(p->cpu_bound());
+}
+
+TEST(Mixes, Mix3ThirtyTwoCoreReplicates) {
+  const Mix m = mix3(2);
+  EXPECT_EQ(m.num_islands(), 8u);
+  EXPECT_EQ(m.total_cores(), 32u);
+  // Replication: islands 4..7 mirror 0..3.
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(m.islands[i].size(), m.islands[i + 4].size());
+    for (std::size_t c = 0; c < m.islands[i].size(); ++c) {
+      EXPECT_EQ(m.islands[i][c], m.islands[i + 4][c]);
+    }
+  }
+}
+
+TEST(Mixes, Mix3RejectsZeroReplicate) {
+  EXPECT_THROW(mix3(0), std::invalid_argument);
+}
+
+TEST(Mixes, ThermalMixIsEightSingleCoreIslands) {
+  const Mix m = thermal_mix();
+  EXPECT_EQ(m.num_islands(), 8u);
+  EXPECT_EQ(m.cores_per_island(), 1u);
+  // Fig. 18a layout: mesa, bzip, gcc, sixtrack repeated twice.
+  EXPECT_EQ(m.islands[0][0]->name, "mesa");
+  EXPECT_EQ(m.islands[3][0]->name, "sixtrack");
+  EXPECT_EQ(m.islands[4][0]->name, "mesa");
+  EXPECT_EQ(m.islands[7][0]->name, "sixtrack");
+}
+
+TEST(Mixes, RegroupedTwoEqualsMix1) {
+  const Mix r = mix1_regrouped(2);
+  const Mix m = mix1();
+  ASSERT_EQ(r.num_islands(), m.num_islands());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.islands[i][0], m.islands[i][0]);
+    EXPECT_EQ(r.islands[i][1], m.islands[i][1]);
+  }
+}
+
+TEST(Mixes, RegroupedSizes) {
+  EXPECT_EQ(mix1_regrouped(1).num_islands(), 8u);
+  EXPECT_EQ(mix1_regrouped(4).num_islands(), 2u);
+  EXPECT_EQ(mix1_regrouped(8).num_islands(), 1u);
+  EXPECT_EQ(mix1_regrouped(4).total_cores(), 8u);
+}
+
+TEST(Mixes, RegroupedRejectsNonDivisor) {
+  EXPECT_THROW(mix1_regrouped(0), std::invalid_argument);
+  EXPECT_THROW(mix1_regrouped(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpm::workload

@@ -1,0 +1,104 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpm::workload {
+namespace {
+
+const BenchmarkProfile& canneal() { return find_profile("canneal"); }
+const BenchmarkProfile& bschls() { return find_profile("bschls"); }
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadInstance a(canneal(), 42), b(canneal(), 42);
+  for (int i = 0; i < 500; ++i) {
+    const Demand da = a.step(1e-4);
+    const Demand db = b.step(1e-4);
+    ASSERT_DOUBLE_EQ(da.cpi, db.cpi);
+    ASSERT_DOUBLE_EQ(da.mem_stall_ns, db.mem_stall_ns);
+    ASSERT_DOUBLE_EQ(da.activity, db.activity);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadInstance a(canneal(), 1), b(canneal(), 2);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a.step(1e-4).cpi != b.step(1e-4).cpi) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, PhasesAdvanceAndCycle) {
+  WorkloadInstance w(bschls(), 7);
+  const std::size_t initial = w.phase_index();
+  // Advance well past one full cycle (phase durations are scaled 3x).
+  std::size_t changes = 0;
+  std::size_t last = initial;
+  for (int i = 0; i < 4000; ++i) {
+    w.step(1e-4);  // 400 ms total
+    if (w.phase_index() != last) {
+      ++changes;
+      last = w.phase_index();
+    }
+  }
+  EXPECT_GT(changes, 4u);  // cycled through the program at least once
+}
+
+TEST(Workload, PhaseOffsetDesynchronizes) {
+  WorkloadInstance a(bschls(), 5, 0.0);
+  WorkloadInstance b(bschls(), 5, 25.0);
+  EXPECT_NE(a.phase_index(), b.phase_index());
+}
+
+TEST(Workload, DemandStaysPhysical) {
+  WorkloadInstance w(canneal(), 11);
+  for (int i = 0; i < 5000; ++i) {
+    const Demand d = w.step(1e-4);
+    ASSERT_GT(d.cpi, 0.0);
+    ASSERT_GE(d.mem_stall_ns, 0.0);
+    ASSERT_GT(d.activity, 0.0);
+    ASSERT_LE(d.activity, 1.2);
+    ASSERT_GE(d.bandwidth_demand, 0.0);
+  }
+}
+
+TEST(Workload, MeanDemandNearProfileBase) {
+  // Phase multipliers average near 1, noise is zero-mean: long-run mean CPI
+  // should be near the profile's base (within 15 %).
+  WorkloadInstance w(bschls(), 3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += w.step(1e-4).cpi;
+  EXPECT_NEAR(sum / kN, bschls().cpi_base, bschls().cpi_base * 0.15);
+}
+
+TEST(Workload, RampSmoothsPhaseTransitions) {
+  // Deterministic check on the noise-free peek(): consecutive peeks across a
+  // phase boundary must not jump more than the ramp slope allows.
+  WorkloadInstance w(canneal(), 13);
+  double prev = w.peek().mem_stall_ns;
+  double max_jump = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    w.step(5e-5);
+    const double cur = w.peek().mem_stall_ns;
+    max_jump = std::max(max_jump, std::abs(cur - prev));
+    prev = cur;
+  }
+  // Without ramping, a phase step of mem_mult 0.85 -> 1.45 would jump
+  // 0.6 * 1.5 ns = 0.9 ns at once; with ramping over ~30 % of a multi-ms
+  // phase, per-50us jumps are tiny.
+  EXPECT_LT(max_jump, 0.1);
+}
+
+TEST(Workload, PeekDoesNotAdvanceState) {
+  WorkloadInstance w(canneal(), 17);
+  const Demand p1 = w.peek();
+  const Demand p2 = w.peek();
+  EXPECT_DOUBLE_EQ(p1.cpi, p2.cpi);
+  EXPECT_DOUBLE_EQ(p1.mem_stall_ns, p2.mem_stall_ns);
+}
+
+}  // namespace
+}  // namespace cpm::workload
