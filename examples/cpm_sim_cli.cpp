@@ -9,9 +9,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/experiment.h"
+#include "core/record_sink.h"
 #include "core/report.h"
 #include "core/trace_io.h"
 #include "util/table.h"
@@ -30,6 +32,9 @@ struct CliOptions {
   std::string csv_prefix;
   std::string report_path;
   bool baseline = false;  // also run NoDVFS and report degradation
+  std::string record_sink = "mem";
+  std::uint64_t sink_capacity = 4096;
+  std::string trace_out;  // file prefix for the streaming sinks
 };
 
 void usage() {
@@ -46,6 +51,14 @@ void usage() {
       "  --csv-prefix P    write P_pic.csv, P_gpm.csv, P_summary.csv\n"
       "  --report FILE     write a markdown run report\n"
       "  --baseline        also run the NoDVFS reference, report degradation\n"
+      "  --record-sink S   mem | ring | decimate | csv | jsonl (mem).\n"
+      "                    ring/decimate bound resident records at the sink\n"
+      "                    capacity; csv/jsonl stream every record to disk\n"
+      "                    (requires --trace-out) and retain none in memory\n"
+      "  --sink-capacity N max records retained per stream by ring/decimate\n"
+      "                    (4096)\n"
+      "  --trace-out P     streaming-sink file prefix: writes P_pic.<ext> and\n"
+      "                    P_gpm.<ext>\n"
       "  --help            this text\n";
 }
 
@@ -126,6 +139,19 @@ ParseResult parse(int argc, char** argv, CliOptions& opt) {
       opt.report_path = v;
     } else if (arg == "--baseline") {
       opt.baseline = true;
+    } else if (arg == "--record-sink") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.record_sink = v;
+    } else if (arg == "--sink-capacity") {
+      const char* v = next();
+      if (!v || !parse_uint(v, arg, opt.sink_capacity)) {
+        return ParseResult::kError;
+      }
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.trace_out = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage();
@@ -192,13 +218,44 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    std::unique_ptr<core::RecordSink> sink;
+    if (opt.record_sink == "mem") {
+      sink = std::make_unique<core::InMemorySink>();
+    } else if (opt.record_sink == "ring" || opt.record_sink == "decimate") {
+      core::BoundedSinkConfig bc;
+      bc.pic_capacity = static_cast<std::size_t>(opt.sink_capacity);
+      bc.gpm_capacity = static_cast<std::size_t>(opt.sink_capacity);
+      bc.policy = opt.record_sink == "ring"
+                      ? core::BoundedSinkConfig::Policy::kKeepLast
+                      : core::BoundedSinkConfig::Policy::kDecimate;
+      sink = std::make_unique<core::BoundedSink>(bc);
+    } else if (opt.record_sink == "csv" || opt.record_sink == "jsonl") {
+      if (opt.trace_out.empty()) {
+        std::cerr << "--record-sink " << opt.record_sink
+                  << " requires --trace-out PREFIX\n";
+        return 1;
+      }
+      sink = core::make_streaming_file_sink(
+          opt.trace_out, opt.record_sink == "csv"
+                             ? core::StreamingSinkConfig::Format::kCsv
+                             : core::StreamingSinkConfig::Format::kJsonl);
+    } else {
+      std::cerr << "unknown record sink: " << opt.record_sink << "\n";
+      return 1;
+    }
+
     core::Simulation sim(config);
     std::cout << "max chip power: " << sim.max_chip_power_w() << " W, budget "
               << sim.budget_w() << " W (" << opt.budget * 100 << "%)\n";
-    const core::SimulationResult result = sim.run(opt.duration);
+    const core::SimulationResult result = sim.run(opt.duration, *sink);
 
+    // With the default in-memory sink the full trace is present and the
+    // batch metrics apply; bounded/streaming sinks keep exact aggregates in
+    // the sink itself instead.
     const core::ChipTrackingMetrics chip =
-        core::chip_tracking_metrics(result.gpm_records);
+        opt.record_sink == "mem"
+            ? core::chip_tracking_metrics(result.gpm_records)
+            : sink->tracking().metrics();
     util::AsciiTable table({"metric", "value"});
     table.add_row({"mean chip power",
                    util::AsciiTable::num(result.avg_chip_power_w, 2) + " W (" +
@@ -223,6 +280,18 @@ int main(int argc, char** argv) {
                          core::performance_degradation(result, base))});
     }
     table.print(std::cout);
+
+    if (opt.record_sink != "mem") {
+      std::cout << "records retained/seen: PIC " << result.pic_records.size()
+                << "/" << result.pic_records_seen << ", GPM "
+                << result.gpm_records.size() << "/" << result.gpm_records_seen
+                << "\n";
+      if (!opt.trace_out.empty()) {
+        const std::string ext = opt.record_sink == "jsonl" ? "jsonl" : "csv";
+        std::cout << "streamed traces written to " << opt.trace_out
+                  << "_{pic,gpm}." << ext << "\n";
+      }
+    }
 
     if (!opt.report_path.empty()) {
       std::ofstream report(opt.report_path);

@@ -104,16 +104,23 @@ ManagedVsBaseline run_with_baseline(const SimulationConfig& config,
 std::vector<BudgetSweepPoint> budget_sweep(
     const SimulationConfig& base, const std::vector<double>& budget_fractions,
     double duration_s) {
+  return budget_sweep_full(base, budget_fractions, duration_s).points;
+}
+
+BudgetSweepResult budget_sweep_full(const SimulationConfig& base,
+                                    const std::vector<double>& budget_fractions,
+                                    double duration_s) {
   // The NoDVFS reference is budget independent: run it once.
   SimulationConfig base_cfg = base;
   base_cfg.manager = ManagerKind::kNoDvfs;
   Simulation baseline_sim(base_cfg);
-  const SimulationResult baseline = baseline_sim.run(duration_s);
+  BudgetSweepResult out;
+  out.baseline = baseline_sim.run(duration_s);
 
   // Sweep points are independent, seeded simulations: fan out across
   // hardware threads. Results are index-ordered, so the sweep's output is
   // identical to a serial run.
-  return util::parallel_map<BudgetSweepPoint>(
+  out.points = util::parallel_map<BudgetSweepPoint>(
       budget_fractions.size(), [&](std::size_t i) {
         SimulationConfig cfg = base;
         cfg.budget_fraction = budget_fractions[i];
@@ -125,9 +132,10 @@ std::vector<BudgetSweepPoint> budget_sweep(
         p.budget_fraction = budget_fractions[i];
         p.avg_power_fraction = res.avg_chip_power_w / res.max_chip_power_w;
         p.max_overshoot = chip.max_overshoot;
-        p.degradation = performance_degradation(res, baseline);
+        p.degradation = performance_degradation(res, out.baseline);
         return p;
       });
+  return out;
 }
 
 }  // namespace cpm::core

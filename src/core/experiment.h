@@ -61,6 +61,17 @@ std::vector<BudgetSweepPoint> budget_sweep(
     const SimulationConfig& base, const std::vector<double>& budget_fractions,
     double duration_s);
 
+/// budget_sweep plus the shared NoDVFS reference run it was measured
+/// against, so callers that also need the unmanaged trace (Fig. 12's
+/// overshoot framing) do not re-run it.
+struct BudgetSweepResult {
+  std::vector<BudgetSweepPoint> points;
+  SimulationResult baseline;
+};
+BudgetSweepResult budget_sweep_full(const SimulationConfig& base,
+                                    const std::vector<double>& budget_fractions,
+                                    double duration_s);
+
 /// Default experiment duration: 50 GPM intervals at the paper's cadence.
 constexpr double kDefaultDurationS = 0.25;
 

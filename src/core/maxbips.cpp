@@ -17,6 +17,13 @@ MaxBipsManager::MaxBipsManager(const MaxBipsConfig& config, double budget_w)
   }
 }
 
+void MaxBipsManager::set_budget_w(double budget_w) {
+  if (budget_w <= 0.0) {
+    throw std::invalid_argument("MaxBipsManager: budget must be > 0");
+  }
+  budget_w_ = budget_w;
+}
+
 double MaxBipsManager::predict_bips(const IslandObservation& obs,
                                     const sim::DvfsTable& dvfs,
                                     std::size_t level) {

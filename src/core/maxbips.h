@@ -43,6 +43,9 @@ class MaxBipsManager {
                                 const sim::DvfsTable& dvfs, std::size_t level);
 
   double budget_w() const noexcept { return budget_w_; }
+  /// Re-targets the budget in place (runtime cap changes), like
+  /// Gpm::set_budget_w -- the manager is not reconstructed mid-run.
+  void set_budget_w(double budget_w);
 
  private:
   MaxBipsConfig config_;

@@ -93,6 +93,27 @@ ChipTrackingMetrics chip_tracking_metrics(
   return metrics;
 }
 
+void ChipTrackingAccumulator::add(const GpmIntervalRecord& rec) noexcept {
+  if (++seen_ <= warmup_) return;
+  ++counted_;
+  power_sum_ += rec.chip_actual_w;
+  if (rec.chip_budget_w <= 0.0) return;
+  const double rel = (rec.chip_actual_w - rec.chip_budget_w) / rec.chip_budget_w;
+  max_overshoot_ = std::max(max_overshoot_, rel);
+  max_undershoot_ = std::max(max_undershoot_, -rel);
+  err_sum_ += std::abs(rel);
+}
+
+ChipTrackingMetrics ChipTrackingAccumulator::metrics() const noexcept {
+  ChipTrackingMetrics m;
+  if (counted_ == 0) return m;
+  m.max_overshoot = max_overshoot_;
+  m.max_undershoot = max_undershoot_;
+  m.mean_abs_error = err_sum_ / static_cast<double>(counted_);
+  m.mean_power_w = power_sum_ / static_cast<double>(counted_);
+  return m;
+}
+
 double performance_degradation(const SimulationResult& managed,
                                const SimulationResult& baseline) {
   if (baseline.total_instructions <= 0.0) return 0.0;

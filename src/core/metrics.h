@@ -60,6 +60,33 @@ struct ChipTrackingMetrics {
 ChipTrackingMetrics chip_tracking_metrics(
     std::span<const GpmIntervalRecord> records, std::size_t warmup_windows = 2);
 
+/// Streaming equivalent of chip_tracking_metrics(): feed it each GPM record
+/// as it is produced and read the metrics at any point, in O(1) memory. The
+/// first `warmup_windows` records are always excluded (unlike the batch
+/// function, which only skips warmup when more than `warmup_windows` records
+/// exist); for any run longer than the warmup the two agree exactly. Used by
+/// the bounded/streaming record sinks to keep tracking metrics exact when
+/// the retained trace is not the full one.
+class ChipTrackingAccumulator {
+ public:
+  explicit ChipTrackingAccumulator(std::size_t warmup_windows = 2) noexcept
+      : warmup_(warmup_windows) {}
+
+  void add(const GpmIntervalRecord& rec) noexcept;
+  ChipTrackingMetrics metrics() const noexcept;
+  /// Records counted so far (after warmup exclusion).
+  std::size_t windows() const noexcept { return counted_; }
+
+ private:
+  std::size_t warmup_;
+  std::size_t seen_ = 0;
+  std::size_t counted_ = 0;
+  double err_sum_ = 0.0;
+  double power_sum_ = 0.0;
+  double max_overshoot_ = 0.0;
+  double max_undershoot_ = 0.0;
+};
+
 /// Fractional throughput loss of `managed` vs `baseline` (same seed/length):
 /// 1 - instructions_managed / instructions_baseline.
 double performance_degradation(const SimulationResult& managed,

@@ -11,10 +11,11 @@ control::PidConfig make_pid_config(const PicConfig& cfg) {
   control::PidConfig pid;
   pid.gains = cfg.gains;
   pid.integral_limit = cfg.integral_limit_pct;
-  // Output clamp applies to the normalized (nominal-gain) output; the
-  // gain-schedule scaling happens after, so widen by the worst-case scale.
-  pid.output_min = -cfg.max_step_ghz;
-  pid.output_max = cfg.max_step_ghz;
+  // No inner output clamp: the gain-schedule scaling in Pic::invoke runs
+  // after the PID, so the single +/-max_step_ghz clamp is applied there, on
+  // the actual actuation step. Clamping here too would shrink the effective
+  // step to max_step * a0/a_i whenever the identified plant gain exceeds the
+  // design-nominal one.
   return pid;
 }
 
@@ -59,7 +60,9 @@ double Pic::invoke(double measured_utilization, double level_scale) {
 
   double delta_ghz = pid_.update(last_error_pct_, saturated_high || saturated_low);
   // Gain scheduling: preserve the designed pole locations when the island's
-  // identified gain differs from the design-nominal one.
+  // identified gain differs from the design-nominal one. The step clamp is
+  // applied once, after the scaling, so the full +/-max_step_ghz actuation
+  // range stays available for every plant gain.
   if (config_.plant_gain > 1e-9) {
     delta_ghz *= config_.nominal_plant_gain / config_.plant_gain;
   }

@@ -58,11 +58,24 @@ void write_markdown_report(std::ostream& os, const SimulationConfig& config,
   if (config.manager == ManagerKind::kCpm) {
     os << "| GPM policy | " << policy_name(config.policy) << " |\n";
   }
+  // Hand-built results (tests) may leave the seen-counts at zero; fall back
+  // to the retained trace so the interval count stays meaningful.
+  const std::size_t gpm_intervals = result.gpm_records_seen
+                                        ? result.gpm_records_seen
+                                        : result.gpm_records.size();
   os << "| budget | " << pct(config.budget_fraction, 0) << " of max ("
      << num(result.budget_w) << " W) |\n"
      << "| duration | " << num(result.duration_s * 1e3, 0) << " ms ("
-     << result.gpm_records.size() << " GPM intervals) |\n"
+     << gpm_intervals << " GPM intervals) |\n"
      << "| seed | " << config.seed << " |\n\n";
+  if (result.gpm_records_seen > result.gpm_records.size()) {
+    os << "> Note: a bounded/streaming record sink retained "
+       << result.gpm_records.size() << " of " << result.gpm_records_seen
+       << " GPM records (" << result.pic_records.size() << " of "
+       << result.pic_records_seen
+       << " PIC records); trace-derived tables below reflect the retained "
+          "subset.\n\n";
+  }
 
   os << "## Calibration\n\n"
      << "Measured maximum chip power: **" << num(result.max_chip_power_w)

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "control/system_id.h"
+#include "core/record_sink.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -218,15 +219,27 @@ SimulationResult Simulation::run(double duration_s) {
   return live->finish();
 }
 
+SimulationResult Simulation::run(double duration_s, RecordSink& sink) {
+  auto live = start(sink);
+  live->advance(duration_s);
+  return live->finish();
+}
+
 std::unique_ptr<SimulationRun> Simulation::start() {
-  return std::unique_ptr<SimulationRun>(new SimulationRun(*this));
+  return std::unique_ptr<SimulationRun>(new SimulationRun(*this, nullptr));
+}
+
+std::unique_ptr<SimulationRun> Simulation::start(RecordSink& sink) {
+  return std::unique_ptr<SimulationRun>(new SimulationRun(*this, &sink));
 }
 
 // ---------------------------------------------------------------------------
 // SimulationRun
 // ---------------------------------------------------------------------------
 
-SimulationRun::SimulationRun(Simulation& owner)
+SimulationRun::~SimulationRun() = default;
+
+SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
     : owner_(&owner),
       chip_(owner.config_.cmp, owner.config_.mix, owner.config_.seed),
       thermal_(make_floorplan(owner.config_.cmp.total_cores()),
@@ -240,7 +253,9 @@ SimulationRun::SimulationRun(Simulation& owner)
       ticks_per_pic_(owner.config_.cmp.ticks_per_pic_interval),
       pics_per_gpm_(owner.config_.cmp.pic_invocations_per_gpm()),
       fmax_(owner.config_.cmp.dvfs.max_freq()),
-      live_budget_w_(owner.budget_w_) {
+      live_budget_w_(owner.budget_w_),
+      owned_sink_(sink ? nullptr : std::make_unique<InMemorySink>()),
+      sink_(sink ? sink : owned_sink_.get()) {
   const SimulationConfig& config = owner.config_;
   const auto& cmp = config.cmp;
   const CalibrationResult& calibration = owner.calibration_;
@@ -376,16 +391,14 @@ double SimulationRun::last_window_power_w() const {
   if (finished_) {
     throw std::logic_error("SimulationRun: observables invalid after finish()");
   }
-  return result_.gpm_records.empty() ? 0.0
-                                     : result_.gpm_records.back().chip_actual_w;
+  return last_gpm_power_w_;
 }
 
 double SimulationRun::last_window_bips() const {
   if (finished_) {
     throw std::logic_error("SimulationRun: observables invalid after finish()");
   }
-  return result_.gpm_records.empty() ? 0.0
-                                     : result_.gpm_records.back().chip_bips;
+  return last_gpm_bips_;
 }
 
 void SimulationRun::set_budget_w(double watts) {
@@ -402,8 +415,13 @@ void SimulationRun::advance(double seconds) {
   if (!(seconds > 0.0) || !std::isfinite(seconds)) {
     throw std::invalid_argument("SimulationRun::advance: duration must be positive");
   }
+  // Round to whole ticks but carry the fractional remainder to the next
+  // call: each invocation alone rounding `seconds / dt_` would silently lose
+  // (or double-count) time under repeated sub-interval stepping.
+  const double frac_ticks = seconds / dt_ + tick_carry_;
   const std::uint64_t ticks =
-      static_cast<std::uint64_t>(seconds / dt_ + 0.5);
+      frac_ticks <= 0.0 ? 0 : static_cast<std::uint64_t>(frac_ticks + 0.5);
+  tick_carry_ = frac_ticks - static_cast<double>(ticks);
   for (std::uint64_t t = 0; t < ticks; ++t) tick_once();
 }
 
@@ -502,7 +520,7 @@ void SimulationRun::pic_boundary(double now) {
       rec.sensed_w = rec.actual_w;
       gpm_sensed_energy_[i] += rec.sensed_w * cmp.pic_interval_s;
     }
-    result_.pic_records.push_back(rec);
+    sink_->record_pic(rec);
     result_.island_level_residency[i][rec.dvfs_level] += 1.0;
     pic_accum_[i].reset();
   }
@@ -526,11 +544,7 @@ void SimulationRun::gpm_boundary(double now) {
     live_budget_w_ = pending_budget_w_;
     pending_budget_w_ = -1.0;
     if (gpm_) gpm_->set_budget_w(live_budget_w_);
-    if (maxbips_) {
-      MaxBipsConfig mc;
-      mc.dvfs = cmp.dvfs;
-      maxbips_ = std::make_unique<MaxBipsManager>(mc, live_budget_w_);
-    }
+    if (maxbips_) maxbips_->set_budget_w(live_budget_w_);
   }
 
   std::vector<IslandObservation> obs(n_);
@@ -570,7 +584,9 @@ void SimulationRun::gpm_boundary(double now) {
   } else {
     rec.island_alloc_w.assign(n_, live_budget_w_ / static_cast<double>(n_));
   }
-  result_.gpm_records.push_back(std::move(rec));
+  last_gpm_power_w_ = rec.chip_actual_w;
+  last_gpm_bips_ = rec.chip_bips;
+  sink_->record_gpm(rec);
 
   // ---- migration advisor (extension) ----
   if (config.enable_migration && core_util_ticks_ > 0) {
@@ -627,6 +643,7 @@ SimulationResult SimulationRun::finish() {
     result_.dvfs_transitions += static_cast<double>(
         chip_.island(i).actuator().transition_count());
   }
+  sink_->finish(result_);
   return std::move(result_);
 }
 

@@ -107,8 +107,15 @@ struct CalibrationResult {
 };
 
 struct SimulationResult {
+  /// Retained per-interval traces. With the default in-memory sink these
+  /// hold every record; a bounded sink retains at most its capacity and a
+  /// streaming sink leaves them empty (the trace went to disk).
   std::vector<PicIntervalRecord> pic_records;
   std::vector<GpmIntervalRecord> gpm_records;
+  /// Total records the run produced (>= the vector sizes above whenever a
+  /// bounded or streaming sink dropped/spilled records).
+  std::size_t pic_records_seen = 0;
+  std::size_t gpm_records_seen = 0;
 
   double duration_s = 0.0;
   double max_chip_power_w = 0.0;  // the percentage scale
@@ -142,6 +149,7 @@ std::vector<std::pair<std::size_t, std::size_t>> island_adjacency(
     std::size_t cores_per_island);
 
 class Simulation;
+class RecordSink;
 
 /// A live, resumable simulation: the state `Simulation::run` would hold on
 /// its stack, promoted to an object so a supervising layer (e.g. a rack
@@ -152,7 +160,12 @@ class Simulation;
 /// calibration and power model).
 class SimulationRun {
  public:
-  /// Advances the live system by `seconds` (rounded to whole ticks).
+  ~SimulationRun();
+
+  /// Advances the live system by `seconds`. Whole ticks are executed
+  /// immediately; a fractional tick remainder is carried over to the next
+  /// call, so repeated sub-interval stepping (e.g. a supervisor advancing by
+  /// 0.4 of a tick) neither loses nor double-counts time.
   void advance(double seconds);
 
   /// Finalizes aggregates and returns the full trace. The run is spent
@@ -178,7 +191,7 @@ class SimulationRun {
 
  private:
   friend class Simulation;
-  explicit SimulationRun(Simulation& owner);
+  SimulationRun(Simulation& owner, RecordSink* sink);
 
   void tick_once();
   void pic_boundary(double now);
@@ -203,6 +216,7 @@ class SimulationRun {
   std::size_t ticks_per_pic_;
   std::size_t pics_per_gpm_;
   std::uint64_t tick_ = 0;
+  double tick_carry_ = 0.0;  // fractional ticks owed by advance()
   std::size_t pic_count_in_window_ = 0;
   // Rolling per-interval accumulators.
   struct Accum {
@@ -242,6 +256,12 @@ class SimulationRun {
   util::RunningStats chip_power_stats_;
   util::RunningStats chip_bips_stats_;
   SimulationResult result_;
+  // Record routing: every PIC/GPM record goes to `sink_` (borrowed, or the
+  // internally owned default InMemorySink).
+  std::unique_ptr<RecordSink> owned_sink_;
+  RecordSink* sink_;
+  double last_gpm_power_w_ = 0.0;
+  double last_gpm_bips_ = 0.0;
   bool finished_ = false;
 };
 
@@ -250,11 +270,16 @@ class Simulation {
   explicit Simulation(SimulationConfig config);
 
   /// Runs for `duration_s` simulated seconds and returns the full trace
-  /// (equivalent to start() + advance(duration_s) + finish()).
+  /// (equivalent to start() + advance(duration_s) + finish()). The overload
+  /// taking a RecordSink routes the per-interval records through it instead
+  /// of the default in-memory sink (the sink must outlive the call).
   SimulationResult run(double duration_s);
+  SimulationResult run(double duration_s, RecordSink& sink);
 
-  /// Starts a resumable run (see SimulationRun).
+  /// Starts a resumable run (see SimulationRun). The sink, when given, is
+  /// borrowed and must outlive the run.
   std::unique_ptr<SimulationRun> start();
+  std::unique_ptr<SimulationRun> start(RecordSink& sink);
 
   /// "Maximum chip power": the unmanaged (all-fmax) peak chip power measured
   /// during calibration. Budgets are fractions of this, as in the paper.

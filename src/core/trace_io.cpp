@@ -32,37 +32,70 @@ std::size_t to_size(const std::string& s, const char* context) {
 
 }  // namespace
 
-void write_pic_trace_csv(std::ostream& os,
-                         const std::vector<PicIntervalRecord>& records) {
+void write_pic_trace_header(std::ostream& os) {
   os << "time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,"
         "level\n";
+}
+
+void write_pic_trace_row(std::ostream& os, const PicIntervalRecord& r) {
   os << std::setprecision(10);
-  for (const auto& r : records) {
-    os << r.time_s << ',' << r.island << ',' << r.target_w << ','
-       << r.sensed_w << ',' << r.actual_w << ',' << r.utilization << ','
-       << r.bips << ',' << r.freq_ghz << ',' << r.dvfs_level << '\n';
+  os << r.time_s << ',' << r.island << ',' << r.target_w << ','
+     << r.sensed_w << ',' << r.actual_w << ',' << r.utilization << ','
+     << r.bips << ',' << r.freq_ghz << ',' << r.dvfs_level << '\n';
+}
+
+void write_gpm_trace_header(std::ostream& os, std::size_t num_islands) {
+  os << "time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c";
+  for (std::size_t i = 0; i < num_islands; ++i) os << ",alloc_" << i;
+  for (std::size_t i = 0; i < num_islands; ++i) os << ",actual_" << i;
+  os << '\n';
+}
+
+void write_gpm_trace_row(std::ostream& os, const GpmIntervalRecord& r) {
+  os << std::setprecision(10);
+  os << r.time_s << ',' << r.chip_budget_w << ',' << r.chip_actual_w << ','
+     << r.chip_bips << ',' << r.max_temp_c;
+  for (const double a : r.island_alloc_w) os << ',' << a;
+  for (const double a : r.island_actual_w) os << ',' << a;
+  os << '\n';
+}
+
+void write_pic_record_jsonl(std::ostream& os, const PicIntervalRecord& r) {
+  os << std::setprecision(10);
+  os << "{\"type\":\"pic\",\"time_s\":" << r.time_s << ",\"island\":"
+     << r.island << ",\"target_w\":" << r.target_w << ",\"sensed_w\":"
+     << r.sensed_w << ",\"actual_w\":" << r.actual_w << ",\"utilization\":"
+     << r.utilization << ",\"bips\":" << r.bips << ",\"freq_ghz\":"
+     << r.freq_ghz << ",\"level\":" << r.dvfs_level << "}\n";
+}
+
+void write_gpm_record_jsonl(std::ostream& os, const GpmIntervalRecord& r) {
+  os << std::setprecision(10);
+  os << "{\"type\":\"gpm\",\"time_s\":" << r.time_s << ",\"chip_budget_w\":"
+     << r.chip_budget_w << ",\"chip_actual_w\":" << r.chip_actual_w
+     << ",\"chip_bips\":" << r.chip_bips << ",\"max_temp_c\":" << r.max_temp_c
+     << ",\"alloc_w\":[";
+  for (std::size_t i = 0; i < r.island_alloc_w.size(); ++i) {
+    os << (i ? "," : "") << r.island_alloc_w[i];
   }
+  os << "],\"actual_w\":[";
+  for (std::size_t i = 0; i < r.island_actual_w.size(); ++i) {
+    os << (i ? "," : "") << r.island_actual_w[i];
+  }
+  os << "]}\n";
+}
+
+void write_pic_trace_csv(std::ostream& os,
+                         const std::vector<PicIntervalRecord>& records) {
+  write_pic_trace_header(os);
+  for (const auto& r : records) write_pic_trace_row(os, r);
 }
 
 void write_gpm_trace_csv(std::ostream& os,
                          const std::vector<GpmIntervalRecord>& records) {
-  if (records.empty()) {
-    os << "time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c\n";
-    return;
-  }
-  const std::size_t n = records.front().island_alloc_w.size();
-  os << "time_s,chip_budget_w,chip_actual_w,chip_bips,max_temp_c";
-  for (std::size_t i = 0; i < n; ++i) os << ",alloc_" << i;
-  for (std::size_t i = 0; i < n; ++i) os << ",actual_" << i;
-  os << '\n';
-  os << std::setprecision(10);
-  for (const auto& r : records) {
-    os << r.time_s << ',' << r.chip_budget_w << ',' << r.chip_actual_w << ','
-       << r.chip_bips << ',' << r.max_temp_c;
-    for (const double a : r.island_alloc_w) os << ',' << a;
-    for (const double a : r.island_actual_w) os << ',' << a;
-    os << '\n';
-  }
+  write_gpm_trace_header(
+      os, records.empty() ? 0 : records.front().island_alloc_w.size());
+  for (const auto& r : records) write_gpm_trace_row(os, r);
 }
 
 void write_summary_csv(std::ostream& os, const SimulationResult& result) {

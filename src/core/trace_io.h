@@ -12,6 +12,18 @@
 
 namespace cpm::core {
 
+/// Row-level writers, used by the bulk writers below and by the streaming
+/// record sink (which emits one row per record as the run produces it).
+void write_pic_trace_header(std::ostream& os);
+void write_pic_trace_row(std::ostream& os, const PicIntervalRecord& r);
+/// `num_islands` == 0 writes the bare 5-column header (empty-trace case).
+void write_gpm_trace_header(std::ostream& os, std::size_t num_islands);
+void write_gpm_trace_row(std::ostream& os, const GpmIntervalRecord& r);
+
+/// JSONL variants: one self-describing JSON object per line, no header.
+void write_pic_record_jsonl(std::ostream& os, const PicIntervalRecord& r);
+void write_gpm_record_jsonl(std::ostream& os, const GpmIntervalRecord& r);
+
 /// One row per (PIC interval, island):
 /// time_s,island,target_w,sensed_w,actual_w,utilization,bips,freq_ghz,level
 void write_pic_trace_csv(std::ostream& os,

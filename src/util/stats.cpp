@@ -89,14 +89,22 @@ double Ewma::update(double x) noexcept {
 
 double percentile(std::span<const double> values, double p) {
   if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> scratch(values.begin(), values.end());
   const double clamped = std::clamp(p, 0.0, 100.0) / 100.0;
-  const double pos = clamped * static_cast<double>(sorted.size() - 1);
+  const double pos = clamped * static_cast<double>(scratch.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  // Selection instead of a full sort: O(n) instead of O(n log n) on the
+  // report path. The interpolation partner sorted[lo + 1] is the minimum of
+  // the partition nth_element leaves above position lo.
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                   scratch.end());
+  const double lo_val = scratch[lo];
+  if (frac <= 0.0 || lo + 1 >= scratch.size()) return lo_val;
+  const double hi_val = *std::min_element(
+      scratch.begin() + static_cast<std::ptrdiff_t>(lo) + 1, scratch.end());
+  return lo_val + frac * (hi_val - lo_val);
 }
 
 double mean_abs_error(std::span<const double> a, std::span<const double> b) {

@@ -65,6 +65,29 @@ TEST(DynamicBudget, WorksWithMaxBips) {
   }
 }
 
+TEST(DynamicBudget, NoOpBudgetChangeLeavesMaxBipsRunIdentical) {
+  // Re-asserting the current cap mid-run must not perturb MaxBIPS at all:
+  // the budget change re-targets the live manager (set_budget_w) instead of
+  // rebuilding it, so its prediction table and decision sequence carry over.
+  SimulationConfig cfg =
+      with_manager(default_config(0.8, 5), ManagerKind::kMaxBips);
+  Simulation plain_sim(cfg);
+  const SimulationResult plain = plain_sim.run(0.1);
+
+  cfg.budget_schedule = {{0.05, 0.8}};  // same 80 % cap, applied mid-run
+  Simulation redundant_sim(cfg);
+  const SimulationResult redundant = redundant_sim.run(0.1);
+
+  EXPECT_DOUBLE_EQ(plain.total_instructions, redundant.total_instructions);
+  ASSERT_EQ(plain.gpm_records.size(), redundant.gpm_records.size());
+  for (std::size_t i = 0; i < plain.gpm_records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.gpm_records[i].chip_actual_w,
+                     redundant.gpm_records[i].chip_actual_w);
+    EXPECT_DOUBLE_EQ(plain.gpm_records[i].chip_bips,
+                     redundant.gpm_records[i].chip_bips);
+  }
+}
+
 TEST(LevelResidency, SumsToOnePerIsland) {
   Simulation sim(default_config(0.8, 7));
   const SimulationResult res = sim.run(0.05);

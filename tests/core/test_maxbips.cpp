@@ -119,6 +119,27 @@ TEST(MaxBips, FavorsHighBipsPerWattIsland) {
   EXPECT_GT(levels[0], levels[1]);
 }
 
+TEST(MaxBips, SetBudgetMatchesFreshManager) {
+  // Re-targeting a live manager must behave exactly like constructing one at
+  // the new budget -- the prediction table (seeded at construction) carries
+  // over instead of being rebuilt.
+  const std::vector<IslandObservation> islands{
+      obs(2.0, 12.0, 7), obs(0.8, 9.0, 7), obs(1.5, 11.0, 7), obs(0.5, 8.0, 7)};
+  MaxBipsManager reused(config(), 38.0);
+  (void)reused.choose_levels(islands);  // exercise it at the old budget first
+  reused.set_budget_w(20.0);
+  EXPECT_DOUBLE_EQ(reused.budget_w(), 20.0);
+
+  MaxBipsManager fresh(config(), 20.0);
+  EXPECT_EQ(reused.choose_levels(islands), fresh.choose_levels(islands));
+}
+
+TEST(MaxBips, SetBudgetRejectsNonPositive) {
+  MaxBipsManager mgr(config(), 10.0);
+  EXPECT_THROW(mgr.set_budget_w(0.0), std::invalid_argument);
+  EXPECT_THROW(mgr.set_budget_w(-5.0), std::invalid_argument);
+}
+
 TEST(MaxBips, EmptyInput) {
   MaxBipsManager mgr(config(), 10.0);
   EXPECT_TRUE(mgr.choose_levels({}).empty());

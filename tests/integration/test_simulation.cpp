@@ -69,6 +69,40 @@ TEST(Simulation, DeterministicAcrossRuns) {
   }
 }
 
+TEST(SimulationRun, FractionalAdvanceMatchesOneShot) {
+  // N calls of advance(T/N) must execute exactly the ticks of one
+  // advance(T), even for N that make T/N a non-integral tick count: the
+  // fractional remainder is carried across calls instead of being re-rounded
+  // (and drifting) every call.
+  const double total_s = 0.05;
+  Simulation whole_sim(default_config());
+  auto whole = whole_sim.start();
+  whole->advance(total_s);
+  const SimulationResult ref = whole->finish();
+
+  for (const int n : {7, 13}) {
+    Simulation split_sim(default_config());
+    auto split = split_sim.start();
+    for (int i = 0; i < n; ++i) split->advance(total_s / n);
+    const SimulationResult res = split->finish();
+    EXPECT_DOUBLE_EQ(res.duration_s, ref.duration_s) << "n = " << n;
+    EXPECT_DOUBLE_EQ(res.total_instructions, ref.total_instructions)
+        << "n = " << n;
+    EXPECT_EQ(res.gpm_records.size(), ref.gpm_records.size()) << "n = " << n;
+  }
+}
+
+TEST(SimulationRun, SubTickAdvancesAccumulate) {
+  // 25 advances of 0.4 ticks each must execute 10 whole ticks (1 ms), not 25
+  // rounded-to-zero no-ops or 25 rounded-up ticks.
+  Simulation sim(default_config());
+  auto run = sim.start();
+  const double dt = 1e-4;  // the simulator tick
+  for (int i = 0; i < 25; ++i) run->advance(0.4 * dt);
+  EXPECT_NEAR(run->elapsed_s(), 10 * dt, 1e-12);
+  (void)run->finish();
+}
+
 TEST(Simulation, SeedChangesResults) {
   Simulation a(default_config(0.8, 1));
   Simulation b(default_config(0.8, 2));
