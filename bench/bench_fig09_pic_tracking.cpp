@@ -13,7 +13,7 @@ int main() {
   bench::header("Fig. 9", "PIC tracking between two GPM invocations");
 
   core::Simulation sim(core::default_config(0.8));
-  const core::SimulationResult res = sim.run(core::kDefaultDurationS);
+  const core::SimulationResult res = bench::checked_run(sim, core::kDefaultDurationS);
 
   // Pick a mid-run GPM window (skip warmup).
   const std::size_t window = 6;

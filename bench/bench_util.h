@@ -8,9 +8,25 @@
 #include <string>
 #include <vector>
 
+#include "core/invariant_checker.h"
+#include "core/record_sink.h"
+#include "core/simulation.h"
 #include "util/table.h"
 
 namespace cpm::bench {
+
+/// Runs a simulation with the invariant checker attached in fatal mode: a
+/// violated power-management invariant aborts the bench with a diagnostic
+/// instead of silently baking corrupt numbers into a regenerated figure.
+inline core::SimulationResult checked_run(core::Simulation& sim,
+                                          double seconds) {
+  core::InvariantCheckerConfig cc = core::checker_config_for(sim);
+  cc.fatal = true;
+  core::InvariantChecker checker(std::move(cc));
+  core::InMemorySink mem;
+  core::CheckingSink sink(checker, mem);
+  return sim.run(seconds, sink);
+}
 
 inline void header(const std::string& id, const std::string& title) {
   std::cout << "\n=== " << id << ": " << title << " ===\n";

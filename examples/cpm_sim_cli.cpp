@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "core/invariant_checker.h"
 #include "core/record_sink.h"
 #include "core/report.h"
 #include "core/trace_io.h"
@@ -35,6 +36,7 @@ struct CliOptions {
   std::string record_sink = "mem";
   std::uint64_t sink_capacity = 4096;
   std::string trace_out;  // file prefix for the streaming sinks
+  bool check_invariants = false;
 };
 
 void usage() {
@@ -59,6 +61,11 @@ void usage() {
       "                    (4096)\n"
       "  --trace-out P     streaming-sink file prefix: writes P_pic.<ext> and\n"
       "                    P_gpm.<ext>\n"
+      "  --check-invariants\n"
+      "                    validate every record against the manager's\n"
+      "                    structural invariants (budget sums, DVFS bounds and\n"
+      "                    quantization, step clamp, thermal streaks, sink\n"
+      "                    aggregates); the first violation aborts the run\n"
       "  --help            this text\n";
 }
 
@@ -152,6 +159,8 @@ ParseResult parse(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return ParseResult::kError;
       opt.trace_out = v;
+    } else if (arg == "--check-invariants") {
+      opt.check_invariants = true;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage();
@@ -247,7 +256,16 @@ int main(int argc, char** argv) {
     core::Simulation sim(config);
     std::cout << "max chip power: " << sim.max_chip_power_w() << " W, budget "
               << sim.budget_w() << " W (" << opt.budget * 100 << "%)\n";
+
+    std::unique_ptr<core::InvariantChecker> checker;
+    if (opt.check_invariants) {
+      core::InvariantCheckerConfig cc = core::checker_config_for(sim);
+      cc.fatal = true;  // first violation aborts with its full detail
+      checker = std::make_unique<core::InvariantChecker>(std::move(cc));
+      sink = std::make_unique<core::CheckingSink>(*checker, std::move(sink));
+    }
     const core::SimulationResult result = sim.run(opt.duration, *sink);
+    if (checker) std::cout << checker->summary() << "\n";
 
     // With the default in-memory sink the full trace is present and the
     // batch metrics apply; bounded/streaming sinks keep exact aggregates in

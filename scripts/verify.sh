@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification: release build + tests, sanitizer build + tests, and a
+# bounded randomized fuzz campaign. This is the gate every PR must pass.
+#
+# Usage: scripts/verify.sh [--fast]
+#   --fast  skip the ASan+UBSan pass (release tests + fuzz smoke only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== release build + tier-1 tests =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default
+
+echo "== fuzz smoke (randomized differential campaign, ~30 s budget) =="
+# A fresh seed per calendar day keeps coverage moving while staying
+# reproducible: failures print an exact --seed/--replay command.
+SEED=$(date +%Y%m%d)
+./build/tests/fuzz_sim --scenarios 400 --seed "$SEED"
+
+if [[ "$FAST" == "0" ]]; then
+  echo "== ASan+UBSan build + tier-1 tests =="
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j"$(nproc)"
+  ctest --preset asan-ubsan
+fi
+
+echo "verify: all checks passed"

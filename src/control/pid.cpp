@@ -20,6 +20,11 @@ double PidController::update(double error, bool freeze_integral) noexcept {
   return last_output_;
 }
 
+void PidController::observe_error(double error) noexcept {
+  prev_error_ = error;
+  has_prev_error_ = true;
+}
+
 void PidController::reset() noexcept {
   integral_ = 0.0;
   prev_error_ = 0.0;

@@ -31,6 +31,14 @@ class PidController {
   /// and accumulating would only delay recovery.
   double update(double error, bool freeze_integral = false) noexcept;
 
+  /// Records an error sample without producing output or touching the
+  /// integral. Keeps the derivative's previous-error bookkeeping current
+  /// across intervals where the caller deliberately does not actuate (e.g.
+  /// deadband holds): the next update() then differentiates against the last
+  /// observed sample instead of treating the whole gap as one step, which
+  /// would produce a spurious derivative kick on exit.
+  void observe_error(double error) noexcept;
+
   /// Resets dynamic state (integral, previous error/output).
   void reset() noexcept;
 

@@ -18,6 +18,14 @@ Gpm::Gpm(std::unique_ptr<ProvisioningPolicy> policy, double budget_w,
 
 void Gpm::set_budget_w(double watts) {
   if (watts <= 0.0) throw std::invalid_argument("Gpm: budget must be > 0");
+  // Rescale the live allocation with the budget: it is the set of setpoints
+  // the PICs keep tracking until the next invoke(), so leaving it summing to
+  // the old budget would let the chip run over a lowered cap for up to one
+  // full global interval.
+  if (watts != budget_w_) {
+    const double scale = watts / budget_w_;
+    for (double& a : allocation_) a *= scale;
+  }
   budget_w_ = watts;
 }
 

@@ -41,10 +41,13 @@ double Pic::invoke(double measured_utilization, double level_scale) {
   // the plant gain a_i was identified in (% power per GHz).
   last_error_pct_ = (target_w_ - sensed_w) / config_.power_scale_w * 100.0;
 
-  // Sub-quantum errors: hold the current request. The PID is not updated so
-  // neither the integral nor the derivative react to noise the actuator
-  // cannot correct anyway.
+  // Sub-quantum errors: hold the current request. The PID produces no output
+  // and accumulates no integral, so neither reacts to noise the actuator
+  // cannot correct anyway -- but the error sample is still observed: the
+  // derivative must differentiate against the previous interval, not across
+  // the whole held gap (which would kick on deadband exit).
   if (std::abs(last_error_pct_) < config_.deadband_pct) {
+    pid_.observe_error(last_error_pct_);
     last_delta_ghz_ = 0.0;
     return freq_request_ghz_;
   }

@@ -64,10 +64,14 @@ class Pic {
   /// whole DVFS range with a single calibrated line (paper Fig. 6).
   double invoke(double measured_utilization, double level_scale = 1.0);
 
-  /// Power the controller believes the island draws at `utilization`.
+  /// Power the controller believes the island draws at `utilization`,
+  /// clamped to the physical range: an extrapolated linear fit (negative
+  /// intercept, adaptive refit from degenerate data) must never report
+  /// negative watts to the control loop.
   double sensed_power_w(double utilization,
                         double level_scale = 1.0) const noexcept {
-    return transducer_.estimate_watts(utilization) * level_scale;
+    const double est = transducer_.estimate_watts(utilization) * level_scale;
+    return est > 0.0 ? est : 0.0;
   }
 
   const power::TransducerModel& transducer() const noexcept {

@@ -39,6 +39,20 @@ std::vector<std::pair<std::size_t, std::size_t>> island_adjacency(
   return pairs;
 }
 
+ThermalConstraints resolved_thermal_constraints(const SimulationConfig& config) {
+  ThermalConstraints cons = config.thermal_constraints;
+  if (cons.adjacent_pairs.empty()) {
+    const std::size_t n = config.cmp.num_islands;
+    const ThermalConstraints scaled = ThermalConstraints::scaled_defaults(n);
+    cons.single_cap_share = scaled.single_cap_share;
+    cons.pair_cap_share = scaled.pair_cap_share;
+    cons.adjacent_pairs =
+        island_adjacency(make_floorplan(config.cmp.total_cores()), n,
+                         config.cmp.cores_per_island);
+  }
+  return cons;
+}
+
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)),
       power_model_(config_.cmp, config_.island_leak_mults) {
@@ -271,22 +285,9 @@ SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
         policy = std::make_unique<PerformanceAwarePolicy>(perf_cfg);
         break;
       case PolicyKind::kThermal: {
-        ThermalConstraints cons = config.thermal_constraints;
-        if (cons.adjacent_pairs.empty()) {
-          // Auto-configured constraints: derive adjacency from the
-          // floorplan and scale the caps to this chip's island count (the
-          // struct's literal defaults are the paper's 8-island constants).
-          const ThermalConstraints scaled =
-              ThermalConstraints::scaled_defaults(n_);
-          cons.single_cap_share = scaled.single_cap_share;
-          cons.pair_cap_share = scaled.pair_cap_share;
-          cons.adjacent_pairs =
-              island_adjacency(make_floorplan(cmp.total_cores()), n_,
-                               cmp.cores_per_island);
-        }
         policy = std::make_unique<ThermalAwarePolicy>(
             std::make_unique<PerformanceAwarePolicy>(perf_cfg),
-            std::move(cons), n_);
+            resolved_thermal_constraints(config), n_);
         break;
       }
       case PolicyKind::kVariation: {

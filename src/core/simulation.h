@@ -148,6 +148,13 @@ std::vector<std::pair<std::size_t, std::size_t>> island_adjacency(
     const thermal::Floorplan& floorplan, std::size_t num_islands,
     std::size_t cores_per_island);
 
+/// The thermal constraints a CPM/thermal run actually enforces: the
+/// configured ones, with an empty adjacency list auto-derived from the
+/// floorplan and the caps rescaled to this chip's island count (the struct's
+/// literal defaults are the paper's 8-island constants). Shared by the
+/// simulation wiring and the invariant checker so both see the same limits.
+ThermalConstraints resolved_thermal_constraints(const SimulationConfig& config);
+
 class Simulation;
 class RecordSink;
 

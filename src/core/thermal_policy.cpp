@@ -110,12 +110,15 @@ std::vector<double> ThermalConstraintTracker::enforce(
   clamp_criticals(&frozen, &freed);
 
   // Redistribute the clamped power to unfrozen islands, bounded by each
-  // island's headroom under every streak-critical constraint it is part of
-  // (pair headroom is halved: it is shared between two islands).
+  // island's headroom under its own cap and every streak-critical pair it is
+  // part of (pair headroom is halved: it is shared between two islands).
+  // The single-cap bound applies to *every* island, critical or not: granting
+  // an uncritical island up to the full cap on top of its current allocation
+  // could push it over its cap and seed a brand-new violation streak, making
+  // the clamp oscillate between islands instead of settling.
   auto headroom = [&](std::size_t i) {
     if (frozen[i]) return 0.0;
-    double head = single_critical[i] ? std::max(0.0, single_cap - alloc[i])
-                                     : single_cap;  // generous when uncritical
+    double head = std::max(0.0, single_cap - alloc[i]);
     for (std::size_t p = 0; p < cons.adjacent_pairs.size(); ++p) {
       if (!pair_critical[p]) continue;
       const auto& [a, b] = cons.adjacent_pairs[p];

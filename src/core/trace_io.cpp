@@ -30,6 +30,51 @@ std::size_t to_size(const std::string& s, const char* context) {
   return static_cast<std::size_t>(to_double(s, context));
 }
 
+/// Minimal JSONL field extraction for the flat objects our writers emit
+/// (numeric values only, no nesting beyond one array level, keys unique).
+std::string_view json_value_at(std::string_view line, std::string_view key,
+                               const char* context) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) {
+    throw std::runtime_error(std::string("trace_io: missing JSON key in ") +
+                             context + ": " + std::string(key));
+  }
+  const std::size_t start = at + needle.size();
+  std::size_t end = start;
+  const char open = end < line.size() ? line[end] : '\0';
+  if (open == '[') {
+    end = line.find(']', start);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error(std::string("trace_io: unterminated array in ") +
+                               context);
+    }
+    return line.substr(start + 1, end - start - 1);
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+double json_number(std::string_view line, std::string_view key,
+                   const char* context) {
+  return to_double(std::string(json_value_at(line, key, context)), context);
+}
+
+std::vector<double> json_array(std::string_view line, std::string_view key,
+                               const char* context) {
+  const std::string_view body = json_value_at(line, key, context);
+  std::vector<double> values;
+  for (const auto& cell : split_csv_line(std::string(body))) {
+    values.push_back(to_double(cell, context));
+  }
+  return values;
+}
+
+bool json_type_is(std::string_view line, std::string_view type) {
+  return line.find("\"type\":\"" + std::string(type) + "\"") !=
+         std::string_view::npos;
+}
+
 }  // namespace
 
 void write_pic_trace_header(std::ostream& os) {
@@ -38,7 +83,7 @@ void write_pic_trace_header(std::ostream& os) {
 }
 
 void write_pic_trace_row(std::ostream& os, const PicIntervalRecord& r) {
-  os << std::setprecision(10);
+  os << std::setprecision(17);
   os << r.time_s << ',' << r.island << ',' << r.target_w << ','
      << r.sensed_w << ',' << r.actual_w << ',' << r.utilization << ','
      << r.bips << ',' << r.freq_ghz << ',' << r.dvfs_level << '\n';
@@ -52,7 +97,7 @@ void write_gpm_trace_header(std::ostream& os, std::size_t num_islands) {
 }
 
 void write_gpm_trace_row(std::ostream& os, const GpmIntervalRecord& r) {
-  os << std::setprecision(10);
+  os << std::setprecision(17);
   os << r.time_s << ',' << r.chip_budget_w << ',' << r.chip_actual_w << ','
      << r.chip_bips << ',' << r.max_temp_c;
   for (const double a : r.island_alloc_w) os << ',' << a;
@@ -61,7 +106,7 @@ void write_gpm_trace_row(std::ostream& os, const GpmIntervalRecord& r) {
 }
 
 void write_pic_record_jsonl(std::ostream& os, const PicIntervalRecord& r) {
-  os << std::setprecision(10);
+  os << std::setprecision(17);
   os << "{\"type\":\"pic\",\"time_s\":" << r.time_s << ",\"island\":"
      << r.island << ",\"target_w\":" << r.target_w << ",\"sensed_w\":"
      << r.sensed_w << ",\"actual_w\":" << r.actual_w << ",\"utilization\":"
@@ -70,7 +115,7 @@ void write_pic_record_jsonl(std::ostream& os, const PicIntervalRecord& r) {
 }
 
 void write_gpm_record_jsonl(std::ostream& os, const GpmIntervalRecord& r) {
-  os << std::setprecision(10);
+  os << std::setprecision(17);
   os << "{\"type\":\"gpm\",\"time_s\":" << r.time_s << ",\"chip_budget_w\":"
      << r.chip_budget_w << ",\"chip_actual_w\":" << r.chip_actual_w
      << ",\"chip_bips\":" << r.chip_bips << ",\"max_temp_c\":" << r.max_temp_c
@@ -99,7 +144,7 @@ void write_gpm_trace_csv(std::ostream& os,
 }
 
 void write_summary_csv(std::ostream& os, const SimulationResult& result) {
-  os << std::setprecision(10);
+  os << std::setprecision(17);
   os << "key,value\n"
      << "duration_s," << result.duration_s << '\n'
      << "max_chip_power_w," << result.max_chip_power_w << '\n'
@@ -172,6 +217,44 @@ std::vector<GpmIntervalRecord> read_gpm_trace_csv(std::istream& is) {
     for (std::size_t i = 0; i < n; ++i) {
       r.island_actual_w.push_back(to_double(cells[5 + n + i], "gpm.island"));
     }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<PicIntervalRecord> read_pic_trace_jsonl(std::istream& is) {
+  std::vector<PicIntervalRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || !json_type_is(line, "pic")) continue;
+    PicIntervalRecord r;
+    r.time_s = json_number(line, "time_s", "pic.time_s");
+    r.island = static_cast<std::size_t>(json_number(line, "island", "pic.island"));
+    r.target_w = json_number(line, "target_w", "pic.target_w");
+    r.sensed_w = json_number(line, "sensed_w", "pic.sensed_w");
+    r.actual_w = json_number(line, "actual_w", "pic.actual_w");
+    r.utilization = json_number(line, "utilization", "pic.utilization");
+    r.bips = json_number(line, "bips", "pic.bips");
+    r.freq_ghz = json_number(line, "freq_ghz", "pic.freq_ghz");
+    r.dvfs_level = static_cast<std::size_t>(json_number(line, "level", "pic.level"));
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<GpmIntervalRecord> read_gpm_trace_jsonl(std::istream& is) {
+  std::vector<GpmIntervalRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || !json_type_is(line, "gpm")) continue;
+    GpmIntervalRecord r;
+    r.time_s = json_number(line, "time_s", "gpm.time_s");
+    r.chip_budget_w = json_number(line, "chip_budget_w", "gpm.budget");
+    r.chip_actual_w = json_number(line, "chip_actual_w", "gpm.actual");
+    r.chip_bips = json_number(line, "chip_bips", "gpm.bips");
+    r.max_temp_c = json_number(line, "max_temp_c", "gpm.temp");
+    r.island_alloc_w = json_array(line, "alloc_w", "gpm.alloc");
+    r.island_actual_w = json_array(line, "actual_w", "gpm.island");
     records.push_back(std::move(r));
   }
   return records;

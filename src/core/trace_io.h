@@ -45,4 +45,15 @@ std::vector<PicIntervalRecord> read_pic_trace_csv(std::istream& is);
 /// Parses a GPM trace written by write_gpm_trace_csv.
 std::vector<GpmIntervalRecord> read_gpm_trace_csv(std::istream& is);
 
+/// Parses a JSONL trace written by write_pic_record_jsonl (one object per
+/// line; lines whose "type" is not "pic" are skipped, so a mixed stream is
+/// accepted). Writers emit max_digits10 precision, so every serialized field
+/// round-trips bit-exactly. Throws std::runtime_error on malformed input.
+std::vector<PicIntervalRecord> read_pic_trace_jsonl(std::istream& is);
+
+/// JSONL counterpart of read_gpm_trace_csv (skips non-"gpm" lines). Fields
+/// the format does not carry (island_bips) come back empty, exactly like the
+/// CSV reader.
+std::vector<GpmIntervalRecord> read_gpm_trace_jsonl(std::istream& is);
+
 }  // namespace cpm::core

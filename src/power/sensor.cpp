@@ -32,7 +32,12 @@ TransducerModel AdaptiveTransducer::model() const noexcept {
   const double var = sxx_ - sx_ * sx_ / w_;
   // Without utilization spread the slope is unidentifiable; keep the prior
   // slope and refresh only the intercept around the observed operating point.
-  if (var < 1e-9) {
+  // The guard is relative to the operating point's magnitude (sx^2/w): with
+  // heavy forgetting the decayed variance of a near-constant signal can land
+  // just above any absolute threshold, where the slope estimate is pure
+  // catastrophic cancellation amplified by 1/var. The absolute floor keeps
+  // the guard meaningful when the signal itself sits near zero.
+  if (var < 1e-9 + 1e-6 * (sx_ * sx_ / w_)) {
     TransducerModel out = initial_;
     out.k0 = sy_ / w_ - out.k1 * (sx_ / w_);
     return out;

@@ -158,6 +158,19 @@ TEST(Pid, GainBeyondRangeDiverges) {
   EXPECT_GT(late, early * 2.0);
 }
 
+TEST(Pid, ObserveErrorUpdatesDerivativeWithoutOutputOrIntegral) {
+  PidConfig cfg;
+  cfg.gains = {0.0, 1.0, 1.0};  // ki + kd: watch both pieces of state
+  PidController pid(cfg);
+  pid.update(5.0);  // integral = 5, prev_error = 5
+  const double integral_before = pid.integral();
+  pid.observe_error(0.9);  // bookkeeping only
+  EXPECT_DOUBLE_EQ(pid.integral(), integral_before);
+  // Next update differentiates against the observed 0.9, not the 5.0.
+  const double out = pid.update(2.0);
+  EXPECT_DOUBLE_EQ(out, (5.0 + 2.0) * 1.0 + (2.0 - 0.9) * 1.0);
+}
+
 TEST(Pid, DerivativeDampsOvershoot) {
   std::vector<double> with_d, without_d;
   simulate_tracking(0.79, PidGains{0.4, 0.4, 0.3}, 10.0, 60, &with_d);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
+#include "core/invariant_checker.h"
+#include "core/record_sink.h"
 
 namespace cpm::core {
 namespace {
@@ -86,6 +88,34 @@ TEST(DynamicBudget, NoOpBudgetChangeLeavesMaxBipsRunIdentical) {
     EXPECT_DOUBLE_EQ(plain.gpm_records[i].chip_bips,
                      redundant.gpm_records[i].chip_bips);
   }
+}
+
+TEST(DynamicBudget, FirstIntervalAfterCapDropStaysUnderNewBudget) {
+  // Regression companion to Gpm::set_budget_w rescaling: before the fix the
+  // stale allocation survived a budget drop, so every PIC kept chasing the
+  // old (larger) setpoint until the *next* GPM interval -- and the invariant
+  // checker flags the oversubscribed allocation immediately.
+  SimulationConfig cfg = default_config(0.9, 5);
+  cfg.budget_schedule = {{0.05, 0.5}};
+  Simulation sim(cfg);
+  InvariantChecker checker(checker_config_for(sim));
+  InMemorySink mem;
+  CheckingSink sink(checker, mem);
+  const SimulationResult res = sim.run(0.1, sink);
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+
+  const double new_budget = 0.5 * res.max_chip_power_w;
+  bool saw_post_change = false;
+  for (const auto& g : res.gpm_records) {
+    if (std::abs(g.chip_budget_w - new_budget) > 1e-6) continue;
+    // Every interval under the new cap -- including the first, which is
+    // served by the rescaled carry-over allocation -- must respect it.
+    double total = 0.0;
+    for (const double a : g.island_alloc_w) total += a;
+    EXPECT_LE(total, new_budget * (1.0 + 1e-6)) << "t = " << g.time_s;
+    saw_post_change = true;
+  }
+  EXPECT_TRUE(saw_post_change);
 }
 
 TEST(LevelResidency, SumsToOnePerIsland) {

@@ -85,6 +85,20 @@ TEST(Gpm, BudgetUpdate) {
   EXPECT_THROW(gpm.set_budget_w(-1.0), std::invalid_argument);
 }
 
+TEST(Gpm, BudgetChangeRescalesCurrentAllocation) {
+  // Regression: set_budget_w used to leave the live allocation at the old
+  // budget's scale, so between the change and the next invoke() the
+  // outstanding per-island setpoints could sum to more than the new budget
+  // (and the next policy invocation saw a stale previous_alloc_w).
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 40.0)), 80.0, 4);
+  gpm.invoke(obs(4));  // oversubscribed policy -> rescaled to 20 W each
+  gpm.set_budget_w(40.0);
+  double total = 0.0;
+  for (const double a : gpm.current_allocation()) total += a;
+  EXPECT_NEAR(total, 40.0, 1e-9);
+  for (const double a : gpm.current_allocation()) EXPECT_NEAR(a, 10.0, 1e-9);
+}
+
 TEST(Gpm, ResetRestoresEqualSplit) {
   Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{1, 2, 3, 34}),
           40.0, 4);

@@ -179,6 +179,35 @@ TEST(Pic, ResetRestoresInitialState) {
   EXPECT_DOUBLE_EQ(pic.last_error_pct(), 0.0);
 }
 
+TEST(Pic, NoDerivativeKickAfterDeadbandHold) {
+  // Regression: during a deadband hold the PID used to keep the error sample
+  // from the last *actuated* interval, so on deadband exit the derivative
+  // differentiated across the whole held gap and kicked in the wrong
+  // direction. Isolate the derivative path: kd-only gains, unit plant gain,
+  // wide frequency range and step clamp so nothing else saturates.
+  PicConfig c;
+  c.gains = {0.0, 0.0, 1.0};
+  c.nominal_plant_gain = 1.0;
+  c.plant_gain = 1.0;
+  c.min_freq_ghz = 0.2;
+  c.max_freq_ghz = 4.0;
+  c.power_scale_w = 10.0;  // error_pct = (target_w - sensed_w) * 10
+  c.max_step_ghz = 10.0;
+  c.deadband_pct = 1.0;
+  const power::TransducerModel t{1.0, 0.0, 1.0};  // sensed_w == utilization
+  Pic pic(c, t, 1.0);
+  pic.set_target_w(0.5);
+
+  EXPECT_DOUBLE_EQ(pic.invoke(0.0), 1.0);   // error +5: first sample, kd = 0
+  EXPECT_DOUBLE_EQ(pic.invoke(0.45), 1.0);  // error +0.5: deadband hold
+  EXPECT_DOUBLE_EQ(pic.invoke(0.55), 1.0);  // error -0.5: deadband hold
+  EXPECT_DOUBLE_EQ(pic.invoke(0.41), 1.0);  // error +0.9: deadband hold
+  // Exit at error +2.0. The derivative must be 2.0 - 0.9 = +1.1 against the
+  // last held sample; differentiating against the pre-hold +5.0 would give
+  // -3.0 and step the frequency *down* on an under-power error.
+  EXPECT_DOUBLE_EQ(pic.invoke(0.3), 2.1);
+}
+
 TEST(Pic, TransducerSwapTakesEffect) {
   const power::TransducerModel t1{20.0, 0.0, 1.0};
   const power::TransducerModel t2{40.0, 0.0, 1.0};

@@ -77,6 +77,26 @@ TEST(Tracker, ResetClearsStreaks) {
   EXPECT_FALSE(tr.record(hot, 80.0));
 }
 
+TEST(Tracker, EnforceRedistributionRespectsUncriticalSingleCaps) {
+  // Regression: redistribution headroom for an island with no active streak
+  // used to be its full cap rather than cap - current allocation, so power
+  // freed from a clamped island could push a previously clean island over
+  // its own cap and seed a brand-new violation streak.
+  ThermalConstraints c;  // no pairs: single-island caps only
+  c.single_cap_share = 0.20;
+  c.single_consecutive_limit = 4;
+  ThermalConstraintTracker tr(c, 2);
+  // Three over-cap intervals: island 0 is one interval from a violation.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tr.record(std::vector<double>{25.0, 5.0}, 100.0));
+  }
+  // Island 1 sits 1 W under its 20 W cap. Enforcement clamps island 0 and
+  // frees ~10 W; the grant to island 1 must stop at its ~1 W of headroom.
+  const auto out = tr.enforce({30.0, 19.0}, 100.0);
+  EXPECT_LE(out[0], 0.20 * 100.0);
+  EXPECT_LE(out[1], 0.20 * 100.0);
+}
+
 // A base policy that always wants to pour everything into islands 0 and 1.
 class GreedyHotPolicy final : public ProvisioningPolicy {
  public:

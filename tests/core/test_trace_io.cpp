@@ -80,5 +80,76 @@ TEST(TraceIo, RejectsMalformedInput) {
   EXPECT_THROW(read_gpm_trace_csv(bad_header), std::runtime_error);
 }
 
+TEST(TraceIo, CsvRoundTripIsBitExact) {
+  // Writers emit max_digits10 precision, so every serialized field must
+  // round-trip without any loss at all (the fuzz harness relies on this).
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream pic_ss, gpm_ss;
+  write_pic_trace_csv(pic_ss, res.pic_records);
+  write_gpm_trace_csv(gpm_ss, res.gpm_records);
+  const auto pic = read_pic_trace_csv(pic_ss);
+  const auto gpm = read_gpm_trace_csv(gpm_ss);
+  ASSERT_EQ(pic.size(), res.pic_records.size());
+  ASSERT_EQ(gpm.size(), res.gpm_records.size());
+  for (std::size_t i = 0; i < pic.size(); ++i) {
+    EXPECT_EQ(pic[i].time_s, res.pic_records[i].time_s);
+    EXPECT_EQ(pic[i].sensed_w, res.pic_records[i].sensed_w);
+    EXPECT_EQ(pic[i].actual_w, res.pic_records[i].actual_w);
+    EXPECT_EQ(pic[i].utilization, res.pic_records[i].utilization);
+    EXPECT_EQ(pic[i].freq_ghz, res.pic_records[i].freq_ghz);
+  }
+  for (std::size_t i = 0; i < gpm.size(); ++i) {
+    EXPECT_EQ(gpm[i].chip_actual_w, res.gpm_records[i].chip_actual_w);
+    EXPECT_EQ(gpm[i].island_alloc_w, res.gpm_records[i].island_alloc_w);
+    EXPECT_EQ(gpm[i].island_actual_w, res.gpm_records[i].island_actual_w);
+  }
+}
+
+TEST(TraceIo, JsonlRoundTripFromMixedStream) {
+  // One interleaved JSONL stream (as StreamingSink would produce for a
+  // single file) must split back into bit-exact PIC and GPM traces.
+  Simulation sim(default_config(0.8, 3));
+  const SimulationResult res = sim.run(0.02);
+  std::stringstream mixed;
+  for (const auto& r : res.gpm_records) write_gpm_record_jsonl(mixed, r);
+  for (const auto& r : res.pic_records) write_pic_record_jsonl(mixed, r);
+  std::stringstream pic_in(mixed.str()), gpm_in(mixed.str());
+  const auto pic = read_pic_trace_jsonl(pic_in);
+  const auto gpm = read_gpm_trace_jsonl(gpm_in);
+  ASSERT_EQ(pic.size(), res.pic_records.size());
+  ASSERT_EQ(gpm.size(), res.gpm_records.size());
+  for (std::size_t i = 0; i < pic.size(); ++i) {
+    EXPECT_EQ(pic[i].time_s, res.pic_records[i].time_s);
+    EXPECT_EQ(pic[i].island, res.pic_records[i].island);
+    EXPECT_EQ(pic[i].target_w, res.pic_records[i].target_w);
+    EXPECT_EQ(pic[i].sensed_w, res.pic_records[i].sensed_w);
+    EXPECT_EQ(pic[i].actual_w, res.pic_records[i].actual_w);
+    EXPECT_EQ(pic[i].utilization, res.pic_records[i].utilization);
+    EXPECT_EQ(pic[i].bips, res.pic_records[i].bips);
+    EXPECT_EQ(pic[i].freq_ghz, res.pic_records[i].freq_ghz);
+    EXPECT_EQ(pic[i].dvfs_level, res.pic_records[i].dvfs_level);
+  }
+  for (std::size_t i = 0; i < gpm.size(); ++i) {
+    EXPECT_EQ(gpm[i].time_s, res.gpm_records[i].time_s);
+    EXPECT_EQ(gpm[i].chip_budget_w, res.gpm_records[i].chip_budget_w);
+    EXPECT_EQ(gpm[i].chip_actual_w, res.gpm_records[i].chip_actual_w);
+    EXPECT_EQ(gpm[i].chip_bips, res.gpm_records[i].chip_bips);
+    EXPECT_EQ(gpm[i].max_temp_c, res.gpm_records[i].max_temp_c);
+    EXPECT_EQ(gpm[i].island_alloc_w, res.gpm_records[i].island_alloc_w);
+    EXPECT_EQ(gpm[i].island_actual_w, res.gpm_records[i].island_actual_w);
+    EXPECT_TRUE(gpm[i].island_bips.empty());  // not carried by the format
+  }
+}
+
+TEST(TraceIo, JsonlReaderRejectsMalformedLines) {
+  std::stringstream missing_key("{\"type\":\"pic\",\"time_s\":0.1}\n");
+  EXPECT_THROW(read_pic_trace_jsonl(missing_key), std::runtime_error);
+  std::stringstream bad_array(
+      "{\"type\":\"gpm\",\"time_s\":0,\"chip_budget_w\":1,\"chip_actual_w\":1,"
+      "\"chip_bips\":1,\"max_temp_c\":1,\"alloc_w\":[1,2,\"actual_w\":[1,2]}\n");
+  EXPECT_THROW(read_gpm_trace_jsonl(bad_array), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cpm::core

@@ -79,5 +79,24 @@ TEST(Adaptive, DegenerateSpreadKeepsPriorSlope) {
   EXPECT_NEAR(m.estimate_watts(0.5), 4.0, 1e-9);
 }
 
+TEST(Adaptive, NearConstantUtilizationKeepsPriorSlope) {
+  // Regression: with heavy forgetting, a near-constant utilization signal
+  // (here 0.5 +/- 3e-5 of jitter) decays to a variance just above any fixed
+  // absolute guard, where the slope estimate is catastrophic cancellation
+  // amplified by 1/var -- correlated measurement noise of 1e-4 W produced a
+  // fitted slope of ~3.3 against a true slope of 10. The guard must scale
+  // with the operating point (sx^2/w), falling back to the prior slope.
+  TransducerModel init{10.0, 1.0, 0.95};
+  AdaptiveTransducer a(init, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    const double s = (i % 2 == 0) ? 1.0 : -1.0;
+    a.observe(0.5 + s * 3e-5, 6.0 + s * 1e-4);
+  }
+  const TransducerModel m = a.model();
+  EXPECT_DOUBLE_EQ(m.k1, 10.0);       // prior slope kept
+  EXPECT_NEAR(m.k0, 1.0, 1e-3);       // intercept refreshed around 6 W @ 0.5
+  EXPECT_NEAR(m.estimate_watts(0.5), 6.0, 1e-3);
+}
+
 }  // namespace
 }  // namespace cpm::power
