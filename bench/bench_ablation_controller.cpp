@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "control/tuning.h"
 #include "core/experiment.h"
+#include "util/units.h"
 
 namespace {
 
@@ -51,7 +52,7 @@ int main() {
     // nominal plant gain, via the ITAE-optimal design search.
     control::DesignSpec spec;
     spec.max_overshoot = 0.15;
-    if (const auto tuned = control::design_pid(0.79, spec)) {
+    if (const auto tuned = control::design_pid(units::PercentPerGhz{0.79}, spec)) {
       cfg.pid_gains = tuned->gains;
       rows.push_back(run("PID auto-tuned (<=15% overshoot)", cfg));
     }

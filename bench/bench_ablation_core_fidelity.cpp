@@ -15,6 +15,7 @@
 #include "sim/core.h"
 #include "sim/pipeline.h"
 #include "workload/profile.h"
+#include "util/units.h"
 
 namespace {
 
@@ -41,8 +42,8 @@ Point analytic(const workload::BenchmarkProfile& profile, double freq) {
 Point detailed(const char* name, double freq) {
   sim::PipelineCore core(sim::PipelineConfig{}, workload::micro_behavior(name),
                          42);
-  core.run_cycles(200000, freq);  // warmup
-  const sim::PipelineRunStats s = core.run_cycles(800000, freq);
+  core.run_cycles(200000, units::GigaHertz{freq});  // warmup
+  const sim::PipelineRunStats s = core.run_cycles(800000, units::GigaHertz{freq});
   // BIPS = f[GHz] / CPI.
   return {freq / s.cpi(), s.utilization()};
 }

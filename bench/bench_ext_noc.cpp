@@ -11,6 +11,7 @@
 #include "sim/noc.h"
 #include "sim/pipeline.h"
 #include "workload/profile.h"
+#include "util/units.h"
 
 namespace {
 
@@ -23,8 +24,8 @@ double cpi_with(const sim::MeshNoc* noc, std::size_t nodes_per_island,
   cfg.memory.noc_node = 0;
   cfg.memory.noc_nodes_per_island = nodes_per_island;
   sim::PipelineCore core(cfg, workload::micro_behavior(bench), 42);
-  core.run_cycles(150000, 2.0);
-  return core.run_cycles(500000, 2.0).cpi();
+  core.run_cycles(150000, units::GigaHertz{2.0});
+  return core.run_cycles(500000, units::GigaHertz{2.0}).cpi();
 }
 
 }  // namespace

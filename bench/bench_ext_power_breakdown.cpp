@@ -22,8 +22,8 @@ int main() {
 
     std::printf("\n  %s (utilization %.2f):\n", name, u);
     util::AsciiTable table({"unit", "@0.6GHz (W)", "@2.0GHz (W)", "share@2.0"});
-    const auto lo = model.breakdown(behavior.mix, u, 0.956, 0.6);
-    const auto hi = model.breakdown(behavior.mix, u, 1.26, 2.0);
+    const auto lo = model.breakdown(behavior.mix, u, units::Volts{0.956}, units::GigaHertz{0.6});
+    const auto hi = model.breakdown(behavior.mix, u, units::Volts{1.26}, units::GigaHertz{2.0});
     for (std::size_t i = 0; i < hi.size(); ++i) {
       table.add_row({std::string(power::unit_name(hi[i].unit)),
                      util::AsciiTable::num(lo[i].watts, 3),
@@ -32,8 +32,8 @@ int main() {
     }
     table.print(std::cout);
     std::printf("  total: %.2f W @0.6GHz, %.2f W @2.0GHz\n",
-                model.total_watts(behavior.mix, u, 0.956, 0.6),
-                model.total_watts(behavior.mix, u, 1.26, 2.0));
+                model.total_power(behavior.mix, u, units::Volts{0.956}, units::GigaHertz{0.6}).value(),
+                model.total_power(behavior.mix, u, units::Volts{1.26}, units::GigaHertz{2.0}).value());
   }
   return 0;
 }

@@ -24,8 +24,8 @@ int main() {
     for (const std::size_t cpd : {1ul, 2ul, 4ul, 8ul}) {
       if (cpd > cores) continue;
       const power::GranularityCost c =
-          power::dvfs_granularity_cost(cores, cpd, load_per_core,
-                                       peak_per_core);
+          power::dvfs_granularity_cost(cores, cpd, units::Watts{load_per_core},
+                                       units::Watts{peak_per_core});
       table.add_row({std::to_string(cores), std::to_string(cpd),
                      std::to_string(c.domains),
                      util::AsciiTable::num(c.regulator_loss_w, 1),

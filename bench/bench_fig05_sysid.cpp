@@ -71,18 +71,24 @@ int main() {
   }
 
   // Fit a_i per island on the first half, validate on the second half.
+  // The estimator identifies gains in % of max chip power per GHz (the
+  // paper's Fig. 5 units), so normalize the watt deltas before the fit and
+  // convert back for the watt-domain prediction below.
+  const units::Watts p_max = power_model.max_chip_power(mix);
   const std::size_t half = intervals / 2;
   std::vector<double> gains(4);
   for (std::size_t i = 0; i < 4; ++i) {
     std::vector<double> df, dp;
     for (std::size_t k = 1; k < half; ++k) {
       df.push_back(island_freq[i][k] - island_freq[i][k - 1]);
-      dp.push_back(island_power[i][k] - island_power[i][k - 1]);
+      dp.push_back((island_power[i][k] - island_power[i][k - 1]) /
+                   p_max.value() * 100.0);
     }
     const control::GainEstimate est = control::estimate_plant_gain(df, dp);
-    gains[i] = est.gain;
-    std::printf("  island %zu: a_i = %.3f W/GHz (R^2 = %.3f)\n", i + 1,
-                est.gain, est.r_squared);
+    const units::WattsPerGhz abs = units::absolute_gain(est.gain, p_max);
+    gains[i] = abs.value();
+    std::printf("  island %zu: a_i = %.3f %%/GHz = %.3f W/GHz (R^2 = %.3f)\n",
+                i + 1, est.gain.value(), abs.value(), est.r_squared);
   }
 
   // One-step-ahead prediction on the held-out half.

@@ -47,7 +47,7 @@ int main() {
   auto audit = [&](const core::SimulationResult& res) {
     core::ThermalConstraintTracker tracker(cons, 8);
     for (const auto& g : res.gpm_records) {
-      tracker.record(g.island_alloc_w, res.budget_w);
+      tracker.record(g.island_alloc_w, units::Watts{res.budget_w});
     }
     return tracker.violation_fraction();
   };

@@ -12,6 +12,7 @@
 #include "core/pic.h"
 #include "sim/chip.h"
 #include "workload/mixes.h"
+#include "util/units.h"
 
 namespace {
 
@@ -30,11 +31,11 @@ BENCHMARK(BM_PidUpdate);
 void BM_PicInvoke(benchmark::State& state) {
   core::PicConfig cfg;
   cfg.power_scale_w = 70.0;
-  core::Pic pic(cfg, power::TransducerModel{20.0, 2.0, 0.96}, 2.0);
-  pic.set_target_w(12.0);
+  core::Pic pic(cfg, power::TransducerModel{20.0, 2.0, 0.96}, units::GigaHertz{2.0});
+  pic.set_target(units::Watts{12.0});
   double u = 0.5;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pic.invoke(u, 0.8));
+    benchmark::DoNotOptimize(pic.invoke(u, 0.8).value());
     u = u < 0.9 ? u + 0.01 : 0.3;
   }
 }
@@ -50,14 +51,14 @@ void BM_GpmProvision(benchmark::State& state) {
   }
   std::vector<double> prev(n, 10.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.provision(80.0, obs, prev));
+    benchmark::DoNotOptimize(policy.provision(units::Watts{80.0}, obs, prev));
   }
 }
 BENCHMARK(BM_GpmProvision)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_MaxBipsSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::MaxBipsManager mgr(core::MaxBipsConfig{}, 10.0 * double(n) * 0.8);
+  core::MaxBipsManager mgr(core::MaxBipsConfig{}, units::Watts{10.0 * double(n) * 0.8});
   std::vector<core::IslandObservation> obs(n);
   for (std::size_t i = 0; i < n; ++i) {
     obs[i].bips = 1.0 + 0.2 * static_cast<double>(i);

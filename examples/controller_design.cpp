@@ -18,9 +18,11 @@
 #include "control/transfer_function.h"
 #include "control/tuning.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 int main() {
   using namespace cpm::control;
+  namespace units = cpm::units;
 
   // --- 1. system identification --------------------------------------------
   // Synthetic measurement campaign: the real plant has gain 0.83 %/GHz and
@@ -35,11 +37,11 @@ int main() {
   }
   const GainEstimate est = estimate_plant_gain(df, dp);
   std::printf("1. identified plant gain a = %.3f (R^2 = %.3f, true %.2f)\n",
-              est.gain, est.r_squared, true_gain);
+              est.gain.value(), est.r_squared, true_gain);
 
   // --- 2-3. closed loop + pole placement ------------------------------------
   const PidGains gains{0.4, 0.4, 0.3};  // paper's design
-  const StabilityReport rep = analyze_cpm_loop(est.gain, gains);
+  const StabilityReport rep = analyze_cpm_loop(units::PercentPerGhz{est.gain}, gains);
   std::printf("2. PID gains (Kp,Ki,Kd) = (%.1f, %.1f, %.1f)\n", gains.kp,
               gains.ki, gains.kd);
   std::printf("3. closed-loop poles:");
@@ -50,12 +52,12 @@ int main() {
               rep.stable ? "STABLE" : "UNSTABLE", rep.spectral_radius);
 
   // --- 4. robustness range ---------------------------------------------------
-  const double g_max = stable_gain_upper_bound(est.gain, gains);
+  const double g_max = stable_gain_upper_bound(units::PercentPerGhz{est.gain}, gains);
   std::printf("4. stability holds for plant-gain mismatch g in (0, %.2f)\n",
               g_max);
 
   // --- 5. step response ------------------------------------------------------
-  const TransferFunction cl = cpm_closed_loop(est.gain, gains);
+  const TransferFunction cl = cpm_closed_loop(units::PercentPerGhz{est.gain}, gains);
   const std::vector<double> y = cl.step_response(40);
   const StepResponseMetrics m = step_metrics(y, /*reference=*/1.0);
   std::printf("5. unit-step response: overshoot %.1f%%, settling %zu steps,"
@@ -71,7 +73,7 @@ int main() {
   // Suppose the deployment needs a tamer response: at most 15 % overshoot.
   DesignSpec spec;
   spec.max_overshoot = 0.15;
-  const auto tuned = design_pid(est.gain, spec);
+  const auto tuned = design_pid(units::PercentPerGhz{est.gain}, spec);
   if (tuned) {
     std::printf("6. auto-tuned for <=15%% overshoot: (Kp,Ki,Kd) = "
                 "(%.2f, %.2f, %.2f)\n   overshoot %.1f%%, settling %zu, "

@@ -19,6 +19,7 @@
 #include "core/trace_io.h"
 #include "util/table.h"
 #include "workload/mixes.h"
+#include "util/units.h"
 
 namespace {
 
@@ -254,8 +255,8 @@ int main(int argc, char** argv) {
     }
 
     core::Simulation sim(config);
-    std::cout << "max chip power: " << sim.max_chip_power_w() << " W, budget "
-              << sim.budget_w() << " W (" << opt.budget * 100 << "%)\n";
+    std::cout << "max chip power: " << sim.max_chip_power().value() << " W, budget "
+              << sim.budget().value() << " W (" << opt.budget * 100 << "%)\n";
 
     std::unique_ptr<core::InvariantChecker> checker;
     if (opt.check_invariants) {

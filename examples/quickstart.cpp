@@ -9,6 +9,7 @@
 
 #include "core/experiment.h"
 #include "util/table.h"
+#include "util/units.h"
 
 int main() {
   using namespace cpm;
@@ -19,8 +20,8 @@ int main() {
   // 2. Build the simulation. Construction runs the offline calibration pass
   //    (transducer fit + plant-gain identification, paper Figs. 5-6).
   core::Simulation sim(config);
-  std::cout << "Max chip power : " << sim.max_chip_power_w() << " W\n";
-  std::cout << "Budget (80 %)  : " << sim.budget_w() << " W\n\n";
+  std::cout << "Max chip power : " << sim.max_chip_power().value() << " W\n";
+  std::cout << "Budget (80 %)  : " << sim.budget().value() << " W\n\n";
 
   // 3. Run 0.25 simulated seconds (50 GPM intervals, 500 PIC invocations).
   const core::SimulationResult result = sim.run(core::kDefaultDurationS);

@@ -35,7 +35,7 @@ int main() {
     double max_temp = 0.0;
     std::size_t violations = 0;
     for (const auto& g : mb.managed.gpm_records) {
-      if (audit.record(g.island_alloc_w, mb.managed.budget_w)) ++violations;
+      if (audit.record(g.island_alloc_w, units::Watts{mb.managed.budget_w})) ++violations;
       max_temp = std::max(max_temp, g.max_temp_c);
     }
     table.add_row(

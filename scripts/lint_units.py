@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Project lint: enforce the unit-type convention at public API boundaries.
+
+The tree-wide convention (see src/util/units.h and docs/STATIC_ANALYSIS.md):
+
+  * Function parameters in public headers carry unit types (units::Watts,
+    units::GigaHertz, ...), never raw doubles with a unit-suffixed name.
+    A `double budget_w` parameter is exactly the boundary the type layer
+    exists to close, so it is rejected. POD record/config struct *fields*
+    keep suffixed doubles -- they are bulk data the numeric kernels iterate
+    over -- and are not flagged.
+  * `float` never appears: every quantity in the simulator is a double, and
+    a stray float silently halves precision at a unit boundary.
+  * src/core/ performs no C-style casts to narrower arithmetic types; a
+    narrowing conversion must be a visible static_cast so -Wconversion can
+    vet the intent.
+
+Exit status 0 when clean, 1 with a findings report otherwise.
+
+Usage: scripts/lint_units.py [root]   (default: repo root containing src/)
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Unit-bearing suffixes whose raw-double parameters are banned in headers.
+# Matched at the *end* of the identifier only: `ceff_base_w_per_v2ghz` is
+# fine (ends in `v2ghz`, which is not a listed suffix), `budget_w` is not.
+# `_s` (seconds) is deliberately absent: plain-seconds parameters remain
+# doubles by convention.
+UNIT_SUFFIXES = ("w", "ghz", "ms", "v", "pct")
+
+SUFFIX_PARAM_RE = re.compile(
+    r"\bdouble\s+(?:&\s*)?([A-Za-z_]\w*_(?:%s))\s*(?=[,)=]|$)"
+    % "|".join(UNIT_SUFFIXES)
+)
+FLOAT_RE = re.compile(r"\bfloat\b")
+# C-style cast to a narrower arithmetic type: `(int)x`, `(unsigned)x`, ...
+NARROW_CAST_RE = re.compile(
+    r"\((?:int|long|short|unsigned(?:\s+\w+)?|float|std::size_t|size_t|"
+    r"std::uint\d+_t|std::int\d+_t)\s*\)\s*[A-Za-z_(]"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line count."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else c)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def find_suffixed_double_params(code: str) -> list[tuple[int, str]]:
+    """(line, identifier) for raw-double unit-suffixed function parameters.
+
+    A match counts only at parenthesis depth > 0 (inside a parameter list).
+    Field declarations sit at depth 0 and are allowed.
+    """
+    findings = []
+    depth = 0
+    line = 1
+    last = 0
+    depth_at = []  # depth before each character, built lazily per match
+    # Single pass: track depth per character.
+    depths = [0] * (len(code) + 1)
+    for idx, ch in enumerate(code):
+        depths[idx] = depth
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+    for m in SUFFIX_PARAM_RE.finditer(code):
+        if depths[m.start()] > 0:
+            findings.append((code.count("\n", 0, m.start()) + 1, m.group(1)))
+    return findings
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    problems = []
+
+    if rel.endswith(".h") and rel.startswith("src/"):
+        for line, ident in find_suffixed_double_params(code):
+            problems.append(
+                f"{rel}:{line}: raw `double {ident}` parameter in a public "
+                f"header -- use the matching units:: type "
+                f"(suffix `_{ident.rsplit('_', 1)[-1]}`)"
+            )
+
+    for m in FLOAT_RE.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        problems.append(
+            f"{rel}:{line}: `float` is banned -- all quantities are doubles"
+        )
+
+    if rel.startswith("src/core/"):
+        for m in NARROW_CAST_RE.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            problems.append(
+                f"{rel}:{line}: C-style narrowing cast in core/ -- "
+                f"spell it static_cast so the conversion is auditable"
+            )
+
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    if not (root / "src").is_dir():
+        print(f"lint_units: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files = sorted(
+        p for p in (root / "src").rglob("*") if p.suffix in (".h", ".cpp")
+    )
+    problems: list[str] = []
+    for path in files:
+        problems.extend(lint_file(path, path.relative_to(root).as_posix()))
+
+    if problems:
+        print(f"lint_units: {len(problems)} problem(s)")
+        for p in problems:
+            print("  " + p)
+        return 1
+    print(f"lint_units: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

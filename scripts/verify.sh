@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# Full verification: release build + tests, sanitizer build + tests, and a
-# bounded randomized fuzz campaign. This is the gate every PR must pass.
+# Full verification: lint, release build (warnings-as-errors, negative
+# compilation harness at configure), tier-1 tests, a bounded randomized fuzz
+# campaign, then the sanitizer passes (ASan+UBSan tests, TSan over the
+# thread-pool users). This is the gate every PR must pass.
 #
 # Usage: scripts/verify.sh [--fast]
-#   --fast  skip the ASan+UBSan pass (release tests + fuzz smoke only)
+#   --fast  skip the sanitizer passes (lint + release tests + fuzz smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "== release build + tier-1 tests =="
+echo "== lint: unit-type convention =="
+python3 scripts/lint_units.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== lint: clang-tidy =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target tidy
+else
+  echo "== lint: clang-tidy not installed, skipping =="
+fi
+
+echo "== release build + tier-1 tests (CPM_WERROR=ON) =="
+# Configure also runs tests/static/: the units negative-compilation harness.
 cmake --preset default >/dev/null
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default
@@ -26,6 +40,14 @@ if [[ "$FAST" == "0" ]]; then
   cmake --preset asan-ubsan >/dev/null
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan
+
+  echo "== TSan: parallel_map sweep benches + fuzz smoke =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$(nproc)" \
+    --target bench_fig13_island_size bench_fig17_interval_sensitivity fuzz_sim
+  ./build-tsan/bench/bench_fig13_island_size
+  ./build-tsan/bench/bench_fig17_interval_sensitivity
+  ./build-tsan/tests/fuzz_sim --scenarios 60 --seed "$SEED"
 fi
 
 echo "verify: all checks passed"

@@ -54,4 +54,33 @@ class PidController {
   bool has_prev_error_ = false;
 };
 
+/// Dimension-preserving facade over the (unit-agnostic) PidController
+/// numeric kernel: the error signal carries unit `Error`, the actuation
+/// carries unit `Output`, and the gains implicitly have unit Output/Error
+/// (for the CPM loop: GHz of frequency per percentage point of power error,
+/// which is 1/a_i -- the reciprocal of the identified plant gain's unit).
+/// The kernel stays generic; the facade pins the loop's dimensions at
+/// compile time so a caller cannot feed, say, raw watts where the design
+/// expects percent-of-scale error.
+template <class Error, class Output>
+class UnitPid {
+ public:
+  explicit UnitPid(const PidConfig& config = {}) : pid_(config) {}
+
+  Output update(Error error, bool freeze_integral = false) noexcept {
+    return Output{pid_.update(error.value(), freeze_integral)};
+  }
+  void observe_error(Error error) noexcept {
+    pid_.observe_error(error.value());
+  }
+  void reset() noexcept { pid_.reset(); }
+
+  const PidConfig& config() const noexcept { return pid_.config(); }
+  Error integral() const noexcept { return Error{pid_.integral()}; }
+  Output last_output() const noexcept { return Output{pid_.last_output()}; }
+
+ private:
+  PidController pid_;
+};
+
 }  // namespace cpm::control

@@ -17,18 +17,21 @@ StabilityReport analyze_stability(const TransferFunction& closed_loop,
   return report;
 }
 
-TransferFunction cpm_closed_loop(double plant_gain, const PidGains& gains) {
-  const auto plant = TransferFunction::integrator_plant(plant_gain);
+TransferFunction cpm_closed_loop(units::PercentPerGhz plant_gain,
+                                 const PidGains& gains) {
+  const auto plant = TransferFunction::integrator_plant(plant_gain.value());
   const auto controller = TransferFunction::pid(gains.kp, gains.ki, gains.kd);
   return controller.series(plant).closed_loop_unity_feedback();
 }
 
-StabilityReport analyze_cpm_loop(double plant_gain, const PidGains& gains) {
+StabilityReport analyze_cpm_loop(units::PercentPerGhz plant_gain,
+                                 const PidGains& gains) {
   return analyze_stability(cpm_closed_loop(plant_gain, gains));
 }
 
-double stable_gain_upper_bound(double nominal_plant_gain, const PidGains& gains,
-                               double g_search_max, double tolerance) {
+double stable_gain_upper_bound(units::PercentPerGhz nominal_plant_gain,
+                               const PidGains& gains, double g_search_max,
+                               double tolerance) {
   auto stable_at = [&](double g) {
     return analyze_cpm_loop(g * nominal_plant_gain, gains).stable;
   };

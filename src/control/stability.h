@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "control/transfer_function.h"
+#include "util/units.h"
 
 namespace cpm::control {
 
@@ -30,16 +31,19 @@ struct PidGains {
 };
 
 /// Builds the paper's closed loop Y(z) = PC/(1+PC) for plant a/(z-1).
-TransferFunction cpm_closed_loop(double plant_gain, const PidGains& gains);
+TransferFunction cpm_closed_loop(units::PercentPerGhz plant_gain,
+                                 const PidGains& gains);
 
 /// Report of the characteristic polynomial z(z-1)^2 + a[(Kp+Ki+Kd)z^2 -
 /// (Kp+2Kd)z + Kd] analysis for the CPM loop.
-StabilityReport analyze_cpm_loop(double plant_gain, const PidGains& gains);
+StabilityReport analyze_cpm_loop(units::PercentPerGhz plant_gain,
+                                 const PidGains& gains);
 
 /// Binary-searches the largest g in (0, g_search_max] such that the CPM loop
 /// with plant gain g*a stays stable for all g' in (0, g]. Returns 0 if even
 /// tiny gains are unstable.
-double stable_gain_upper_bound(double nominal_plant_gain, const PidGains& gains,
+double stable_gain_upper_bound(units::PercentPerGhz nominal_plant_gain,
+                               const PidGains& gains,
                                double g_search_max = 16.0,
                                double tolerance = 1e-4);
 

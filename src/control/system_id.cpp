@@ -17,12 +17,13 @@ GainEstimate estimate_plant_gain(std::span<const double> freq_deltas,
   }
   est.samples = n;
   if (sxx <= 0.0) return est;
-  est.gain = sxy / sxx;
+  const double gain = sxy / sxx;
+  est.gain = units::PercentPerGhz{gain};
   if (syy > 0.0) {
     // R^2 for the zero-intercept model: 1 - SSE/SST about zero.
     double sse = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double resid = power_deltas[i] - est.gain * freq_deltas[i];
+      const double resid = power_deltas[i] - gain * freq_deltas[i];
       sse += resid * resid;
     }
     est.r_squared = std::max(0.0, 1.0 - sse / syy);
@@ -30,24 +31,27 @@ GainEstimate estimate_plant_gain(std::span<const double> freq_deltas,
   return est;
 }
 
-RecursiveGainEstimator::RecursiveGainEstimator(double initial_gain,
-                                               double forgetting) noexcept
-    : gain_(initial_gain), forgetting_(std::clamp(forgetting, 1e-3, 1.0)) {}
+RecursiveGainEstimator::RecursiveGainEstimator(
+    units::PercentPerGhz initial_gain, double forgetting) noexcept
+    : gain_(initial_gain.value()),
+      forgetting_(std::clamp(forgetting, 1e-3, 1.0)) {}
 
-double RecursiveGainEstimator::update(double freq_delta,
-                                      double power_delta) noexcept {
+units::PercentPerGhz RecursiveGainEstimator::update(
+    double freq_delta, double power_delta) noexcept {
   ++samples_;
   const double x = freq_delta;
   const double denom = forgetting_ + x * covariance_ * x;
-  if (denom <= 0.0 || x == 0.0) return gain_;  // no information in this sample
+  if (denom <= 0.0 || x == 0.0) {
+    return units::PercentPerGhz{gain_};  // no information in this sample
+  }
   const double k = covariance_ * x / denom;
   gain_ += k * (power_delta - gain_ * x);
   covariance_ = (covariance_ - k * x * covariance_) / forgetting_;
-  return gain_;
+  return units::PercentPerGhz{gain_};
 }
 
-void RecursiveGainEstimator::reset(double initial_gain) noexcept {
-  gain_ = initial_gain;
+void RecursiveGainEstimator::reset(units::PercentPerGhz initial_gain) noexcept {
+  gain_ = initial_gain.value();
   covariance_ = 1e3;
   samples_ = 0;
 }

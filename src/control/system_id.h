@@ -9,11 +9,14 @@
 #include <cstddef>
 #include <span>
 
+#include "util/units.h"
+
 namespace cpm::control {
 
 struct GainEstimate {
-  /// Estimated a_i (zero-intercept least squares of dP on df).
-  double gain = 0.0;
+  /// Estimated a_i (zero-intercept least squares of dP on df), in
+  /// percentage points of chip power per GHz (paper Fig. 5).
+  units::PercentPerGhz gain{0.0};
   /// Coefficient of determination of the fit.
   double r_squared = 0.0;
   std::size_t samples = 0;
@@ -28,15 +31,20 @@ GainEstimate estimate_plant_gain(std::span<const double> freq_deltas,
 class RecursiveGainEstimator {
  public:
   /// forgetting in (0, 1]; 1 = ordinary RLS, <1 tracks drifting gains.
-  explicit RecursiveGainEstimator(double initial_gain = 0.0,
-                                  double forgetting = 0.98) noexcept;
+  explicit RecursiveGainEstimator(
+      units::PercentPerGhz initial_gain = units::PercentPerGhz{0.0},
+      double forgetting = 0.98) noexcept;
 
-  /// Consumes one (df, dP) observation; returns the updated gain.
-  double update(double freq_delta, double power_delta) noexcept;
+  /// Consumes one (df GHz, dP %-points) observation; returns the updated
+  /// gain.
+  units::PercentPerGhz update(double freq_delta, double power_delta) noexcept;
 
-  double gain() const noexcept { return gain_; }
+  units::PercentPerGhz gain() const noexcept {
+    return units::PercentPerGhz{gain_};
+  }
   std::size_t samples() const noexcept { return samples_; }
-  void reset(double initial_gain = 0.0) noexcept;
+  void reset(units::PercentPerGhz initial_gain =
+                 units::PercentPerGhz{0.0}) noexcept;
 
  private:
   double gain_;

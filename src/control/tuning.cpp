@@ -4,7 +4,7 @@
 
 namespace cpm::control {
 
-std::optional<PidDesign> evaluate_design(double plant_gain,
+std::optional<PidDesign> evaluate_design(units::PercentPerGhz plant_gain,
                                          const PidGains& gains,
                                          const DesignSpec& spec) {
   const TransferFunction cl = cpm_closed_loop(plant_gain, gains);
@@ -37,7 +37,8 @@ bool meets_spec(const PidDesign& design, const DesignSpec& spec) {
 
 }  // namespace
 
-std::optional<PidDesign> design_pid(double plant_gain, const DesignSpec& spec) {
+std::optional<PidDesign> design_pid(units::PercentPerGhz plant_gain,
+                                    const DesignSpec& spec) {
   std::optional<PidDesign> best;
   auto consider = [&](double kp, double ki, double kd) {
     if (kp < 0.0 || ki <= 0.0 || kd < 0.0) return;  // Ki>0: no ss error

@@ -40,14 +40,14 @@ struct PidDesign {
 
 /// Evaluates one candidate design against the plant; returns std::nullopt if
 /// the closed loop is unstable.
-std::optional<PidDesign> evaluate_design(double plant_gain,
+std::optional<PidDesign> evaluate_design(units::PercentPerGhz plant_gain,
                                          const PidGains& gains,
                                          const DesignSpec& spec = {});
 
 /// Coarse-to-fine search over (Kp, Ki, Kd) for the lowest-ITAE design that
 /// meets every requirement of `spec`. Returns std::nullopt when no candidate
 /// in the searched box satisfies the spec.
-std::optional<PidDesign> design_pid(double plant_gain,
+std::optional<PidDesign> design_pid(units::PercentPerGhz plant_gain,
                                     const DesignSpec& spec = {});
 
 }  // namespace cpm::control

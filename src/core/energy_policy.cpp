@@ -16,8 +16,10 @@ void EnergyAwarePolicy::reset() {
 }
 
 std::vector<double> EnergyAwarePolicy::provision(
-    double budget_w, std::span<const IslandObservation> observations,
+    units::Watts budget, std::span<const IslandObservation> observations,
     std::span<const double> previous_alloc_w) {
+  const double budget_w = budget.value();
+  (void)budget_w;
   double chip_bips = 0.0;
   for (const auto& obs : observations) chip_bips += obs.bips;
 
@@ -35,7 +37,7 @@ std::vector<double> EnergyAwarePolicy::provision(
                                total_fraction_ * (1.0 - config_.adjust_step));
   }
 
-  return inner_.provision(total_fraction_ * budget_w, observations,
+  return inner_.provision(budget * total_fraction_, observations,
                           previous_alloc_w);
 }
 

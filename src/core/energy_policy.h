@@ -37,7 +37,7 @@ class EnergyAwarePolicy final : public ProvisioningPolicy {
   explicit EnergyAwarePolicy(const EnergyPolicyConfig& config = {});
 
   std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) override;
 
   std::string_view name() const override { return "energy-aware"; }

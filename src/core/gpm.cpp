@@ -7,26 +7,31 @@
 
 namespace cpm::core {
 
-Gpm::Gpm(std::unique_ptr<ProvisioningPolicy> policy, double budget_w,
+Gpm::Gpm(std::unique_ptr<ProvisioningPolicy> policy, units::Watts budget,
          std::size_t num_islands)
-    : policy_(std::move(policy)), budget_w_(budget_w) {
+    : policy_(std::move(policy)), budget_(budget) {
   if (!policy_) throw std::invalid_argument("Gpm: null policy");
   if (num_islands == 0) throw std::invalid_argument("Gpm: no islands");
-  if (budget_w_ <= 0.0) throw std::invalid_argument("Gpm: budget must be > 0");
-  allocation_.assign(num_islands, budget_w_ / static_cast<double>(num_islands));
+  if (budget_ <= units::Watts{0.0}) {
+    throw std::invalid_argument("Gpm: budget must be > 0");
+  }
+  allocation_.assign(num_islands,
+                     budget_.value() / static_cast<double>(num_islands));
 }
 
-void Gpm::set_budget_w(double watts) {
-  if (watts <= 0.0) throw std::invalid_argument("Gpm: budget must be > 0");
+void Gpm::set_budget(units::Watts budget) {
+  if (budget <= units::Watts{0.0}) {
+    throw std::invalid_argument("Gpm: budget must be > 0");
+  }
   // Rescale the live allocation with the budget: it is the set of setpoints
   // the PICs keep tracking until the next invoke(), so leaving it summing to
   // the old budget would let the chip run over a lowered cap for up to one
   // full global interval.
-  if (watts != budget_w_) {
-    const double scale = watts / budget_w_;
+  if (budget != budget_) {
+    const double scale = budget / budget_;
     for (double& a : allocation_) a *= scale;
   }
-  budget_w_ = watts;
+  budget_ = budget;
 }
 
 std::vector<double> Gpm::invoke(
@@ -35,7 +40,7 @@ std::vector<double> Gpm::invoke(
     throw std::invalid_argument("Gpm::invoke: observation count mismatch");
   }
   std::vector<double> next =
-      policy_->provision(budget_w_, observations, allocation_);
+      policy_->provision(budget_, observations, allocation_);
   if (next.size() != allocation_.size()) {
     throw std::logic_error("Gpm: policy returned wrong allocation size");
   }
@@ -45,10 +50,10 @@ std::vector<double> Gpm::invoke(
     if (a < 0.0) a = 0.0;
     total += a;
   }
-  if (total > budget_w_ * (1.0 + 1e-9)) {
+  if (total > budget_.value() * (1.0 + 1e-9)) {
     util::log_debug() << "Gpm: policy oversubscribed (" << total << " W > "
-                      << budget_w_ << " W); rescaling";
-    const double scale = budget_w_ / total;
+                      << budget_.value() << " W); rescaling";
+    const double scale = budget_.value() / total;
     for (auto& a : next) a *= scale;
   }
   allocation_ = std::move(next);
@@ -58,7 +63,7 @@ std::vector<double> Gpm::invoke(
 
 void Gpm::reset() {
   const std::size_t n = allocation_.size();
-  allocation_.assign(n, budget_w_ / static_cast<double>(n));
+  allocation_.assign(n, budget_.value() / static_cast<double>(n));
   invocations_ = 0;
   policy_->reset();
 }

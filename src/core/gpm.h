@@ -11,12 +11,13 @@
 
 #include "core/policy.h"
 #include "core/types.h"
+#include "util/units.h"
 
 namespace cpm::core {
 
 class Gpm {
  public:
-  Gpm(std::unique_ptr<ProvisioningPolicy> policy, double budget_w,
+  Gpm(std::unique_ptr<ProvisioningPolicy> policy, units::Watts budget,
       std::size_t num_islands);
 
   /// One GPM invocation: returns the new per-island power setpoints (watts).
@@ -24,8 +25,8 @@ class Gpm {
   /// floating-point tolerance) -- enforced here even for buggy policies.
   std::vector<double> invoke(std::span<const IslandObservation> observations);
 
-  double budget_w() const noexcept { return budget_w_; }
-  void set_budget_w(double watts);
+  units::Watts budget() const noexcept { return budget_; }
+  void set_budget(units::Watts budget);
 
   const std::vector<double>& current_allocation() const noexcept {
     return allocation_;
@@ -36,7 +37,7 @@ class Gpm {
 
  private:
   std::unique_ptr<ProvisioningPolicy> policy_;
-  double budget_w_;
+  units::Watts budget_;
   std::vector<double> allocation_;
   std::size_t invocations_ = 0;
 };

@@ -74,11 +74,12 @@ void InvariantChecker::check_pic(const PicIntervalRecord& rec) {
   if (config_.dvfs) {
     const sim::DvfsTable& table = *config_.dvfs;
     const double tol = config_.freq_tol_ghz;
-    if (rec.freq_ghz < table.min_freq() - tol ||
-        rec.freq_ghz > table.max_freq() + tol) {
+    if (rec.freq_ghz < table.min_freq().value() - tol ||
+        rec.freq_ghz > table.max_freq().value() + tol) {
       report({"pic.freq_bounds", rec.time_s, rec.island,
               "freq_ghz=" + fmt(rec.freq_ghz) + " outside [" +
-                  fmt(table.min_freq()) + ", " + fmt(table.max_freq()) + "]"});
+                  fmt(table.min_freq().value()) + ", " +
+                  fmt(table.max_freq().value()) + "]"});
     } else if (rec.dvfs_level >= table.num_levels()) {
       report({"pic.level_index", rec.time_s, rec.island,
               "level=" + std::to_string(rec.dvfs_level) + " of " +
@@ -144,7 +145,8 @@ void InvariantChecker::check_gpm(const GpmIntervalRecord& rec) {
                 fmt(rec.chip_actual_w)});
   }
   if (shadow_thermal_ &&
-      shadow_thermal_->record(rec.island_alloc_w, rec.chip_budget_w)) {
+      shadow_thermal_->record(rec.island_alloc_w,
+                              units::Watts{rec.chip_budget_w})) {
     report({"thermal.streak", rec.time_s, InvariantViolation::kChipWide,
             "recorded allocation completes a cap-violation streak the "
             "thermal policy should have clamped"});

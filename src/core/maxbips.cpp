@@ -7,9 +7,10 @@
 
 namespace cpm::core {
 
-MaxBipsManager::MaxBipsManager(const MaxBipsConfig& config, double budget_w)
-    : config_(config), budget_w_(budget_w) {
-  if (budget_w_ <= 0.0) {
+MaxBipsManager::MaxBipsManager(const MaxBipsConfig& config,
+                               units::Watts budget)
+    : config_(config), budget_(budget) {
+  if (budget_ <= units::Watts{0.0}) {
     throw std::invalid_argument("MaxBipsManager: budget must be > 0");
   }
   if (config_.power_bins < 8) {
@@ -17,11 +18,11 @@ MaxBipsManager::MaxBipsManager(const MaxBipsConfig& config, double budget_w)
   }
 }
 
-void MaxBipsManager::set_budget_w(double budget_w) {
-  if (budget_w <= 0.0) {
+void MaxBipsManager::set_budget(units::Watts budget) {
+  if (budget <= units::Watts{0.0}) {
     throw std::invalid_argument("MaxBipsManager: budget must be > 0");
   }
-  budget_w_ = budget_w;
+  budget_ = budget;
 }
 
 double MaxBipsManager::predict_bips(const IslandObservation& obs,
@@ -33,9 +34,9 @@ double MaxBipsManager::predict_bips(const IslandObservation& obs,
   return obs.bips * tgt.freq_ghz / cur.freq_ghz;
 }
 
-double MaxBipsManager::predict_power_w(const IslandObservation& obs,
-                                       const sim::DvfsTable& dvfs,
-                                       std::size_t level) {
+units::Watts MaxBipsManager::predict_power(const IslandObservation& obs,
+                                           const sim::DvfsTable& dvfs,
+                                           std::size_t level) {
   const auto& cur = dvfs.level(std::min(obs.dvfs_level, dvfs.max_level()));
   const auto& tgt = dvfs.level(level);
   const double cur_fv2 = cur.dynamic_energy_scale();
@@ -46,7 +47,8 @@ double MaxBipsManager::predict_power_w(const IslandObservation& obs,
   // open-loop scheme overshoot tight budgets.
   const double leak = std::min(obs.leakage_w, obs.power_w);
   const double dyn = obs.power_w - leak;
-  return dyn * tgt_fv2 / cur_fv2 + leak * tgt.voltage / cur.voltage;
+  return units::Watts{dyn * tgt_fv2 / cur_fv2 +
+                      leak * tgt.voltage / cur.voltage};
 }
 
 std::vector<std::size_t> MaxBipsManager::choose_levels(
@@ -58,14 +60,15 @@ std::vector<std::size_t> MaxBipsManager::choose_levels(
 
   // Precompute per-island per-level (bips, power-bin cost). Costs are rounded
   // *up* so the DP never underestimates power (the budget is a hard cap).
-  const double bin_w = budget_w_ / static_cast<double>(bins);
+  const double bin_w = budget_.value() / static_cast<double>(bins);
   std::vector<std::vector<double>> bips(n, std::vector<double>(levels));
   std::vector<std::vector<std::size_t>> cost(n,
                                              std::vector<std::size_t>(levels));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t l = 0; l < levels; ++l) {
       bips[i][l] = predict_bips(observations[i], config_.dvfs, l);
-      const double p = predict_power_w(observations[i], config_.dvfs, l);
+      const double p =
+          predict_power(observations[i], config_.dvfs, l).value();
       cost[i][l] = static_cast<std::size_t>(std::ceil(p / bin_w - 1e-12));
     }
   }

@@ -17,6 +17,7 @@
 
 #include "core/types.h"
 #include "sim/dvfs.h"
+#include "util/units.h"
 
 namespace cpm::core {
 
@@ -28,7 +29,7 @@ struct MaxBipsConfig {
 
 class MaxBipsManager {
  public:
-  MaxBipsManager(const MaxBipsConfig& config, double budget_w);
+  MaxBipsManager(const MaxBipsConfig& config, units::Watts budget);
 
   /// Chooses one DVFS level per island from the observations of the last
   /// interval (each island's measured BIPS and power at its current level).
@@ -39,17 +40,18 @@ class MaxBipsManager {
   /// is predicted to produce at `level`, given its current observation.
   static double predict_bips(const IslandObservation& obs,
                              const sim::DvfsTable& dvfs, std::size_t level);
-  static double predict_power_w(const IslandObservation& obs,
-                                const sim::DvfsTable& dvfs, std::size_t level);
+  static units::Watts predict_power(const IslandObservation& obs,
+                                    const sim::DvfsTable& dvfs,
+                                    std::size_t level);
 
-  double budget_w() const noexcept { return budget_w_; }
+  units::Watts budget() const noexcept { return budget_; }
   /// Re-targets the budget in place (runtime cap changes), like
-  /// Gpm::set_budget_w -- the manager is not reconstructed mid-run.
-  void set_budget_w(double budget_w);
+  /// Gpm::set_budget -- the manager is not reconstructed mid-run.
+  void set_budget(units::Watts budget);
 
  private:
   MaxBipsConfig config_;
-  double budget_w_;
+  units::Watts budget_;
 };
 
 }  // namespace cpm::core

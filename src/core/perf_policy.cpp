@@ -7,9 +7,10 @@
 namespace cpm::core {
 
 std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
-                                       double budget_w, double min_share,
+                                       units::Watts budget, double min_share,
                                        double max_share) {
   const std::size_t n = alloc_w.size();
+  const double budget_w = budget.value();
   if (n == 0 || budget_w <= 0.0) return alloc_w;
   const double lo = min_share * budget_w;
   const double hi = std::max(lo, max_share * budget_w);
@@ -54,10 +55,11 @@ std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
 }
 
 std::vector<double> apply_share_bounds_capped(std::vector<double> alloc_w,
-                                              double budget_w,
+                                              units::Watts budget,
                                               double min_share,
                                               double max_share) {
   const std::size_t n = alloc_w.size();
+  const double budget_w = budget.value();
   if (n == 0 || budget_w <= 0.0) return alloc_w;
   const double lo = min_share * budget_w;
   const double hi = std::max(lo, max_share * budget_w);
@@ -118,8 +120,10 @@ void PerformanceAwarePolicy::reset() {
 }
 
 std::vector<double> PerformanceAwarePolicy::provision(
-    double budget_w, std::span<const IslandObservation> observations,
+    units::Watts budget, std::span<const IslandObservation> observations,
     std::span<const double> previous_alloc_w) {
+  const double budget_w = budget.value();
+  (void)budget_w;
   const std::size_t n = observations.size();
   std::vector<double> alloc(n, budget_w / static_cast<double>(n));
 
@@ -132,7 +136,7 @@ std::vector<double> PerformanceAwarePolicy::provision(
     prev2_alloc_ = prev_alloc_;
     for (std::size_t i = 0; i < n; ++i) prev_bips_[i] = observations[i].bips;
     primed_ = true;
-    return apply_share_bounds(std::move(alloc), budget_w, config_.min_share,
+    return apply_share_bounds(std::move(alloc), budget, config_.min_share,
                               config_.max_share);
   }
 
@@ -216,7 +220,7 @@ std::vector<double> PerformanceAwarePolicy::provision(
     // draw the full budget this interval).
   }
 
-  alloc = apply_share_bounds_capped(std::move(alloc), budget_w,
+  alloc = apply_share_bounds_capped(std::move(alloc), budget,
                                     config_.min_share, config_.max_share);
 
   prev2_alloc_ = prev_alloc_;

@@ -41,7 +41,7 @@ class PerformanceAwarePolicy final : public ProvisioningPolicy {
   explicit PerformanceAwarePolicy(const PerfPolicyConfig& config = {});
 
   std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) override;
 
   std::string_view name() const override { return "performance-aware"; }
@@ -60,9 +60,9 @@ class PerformanceAwarePolicy final : public ProvisioningPolicy {
 };
 
 /// Applies share floors/ceilings and renormalizes so the total equals
-/// `budget_w`. Shared by several policies; exposed for testing.
+/// `budget`. Shared by several policies; exposed for testing.
 std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
-                                       double budget_w, double min_share,
+                                       units::Watts budget, double min_share,
                                        double max_share);
 
 /// Like apply_share_bounds, but preserves the incoming total (which may be
@@ -70,7 +70,7 @@ std::vector<double> apply_share_bounds(std::vector<double> alloc_w,
 /// floors are funded by above-floor islands, ceiling excess is redistributed
 /// or dropped -- the total never grows.
 std::vector<double> apply_share_bounds_capped(std::vector<double> alloc_w,
-                                              double budget_w,
+                                              units::Watts budget,
                                               double min_share,
                                               double max_share);
 

@@ -22,34 +22,40 @@ control::PidConfig make_pid_config(const PicConfig& cfg) {
 }  // namespace
 
 Pic::Pic(const PicConfig& config, power::TransducerModel transducer,
-         double initial_freq_ghz)
+         units::GigaHertz initial_freq)
     : config_(config),
       transducer_(transducer),
       pid_(make_pid_config(config)),
       observer_(/*input_gain_b=*/config.plant_gain * config.power_scale_w /
                     100.0,
                 config.observer_gain > 0.0 ? config.observer_gain : 1.0),
-      freq_request_ghz_(
-          std::clamp(initial_freq_ghz, config.min_freq_ghz, config.max_freq_ghz)) {}
+      freq_request_(units::clamp(initial_freq,
+                                 units::GigaHertz{config.min_freq_ghz},
+                                 units::GigaHertz{config.max_freq_ghz})) {}
 
-double Pic::invoke(double measured_utilization, double level_scale) {
-  double sensed_w = sensed_power_w(measured_utilization, level_scale);
+units::GigaHertz Pic::invoke(double measured_utilization, double level_scale) {
+  units::Watts sensed = sensed_power(measured_utilization, level_scale);
   if (config_.observer_gain > 0.0) {
-    sensed_w = observer_.update(last_delta_ghz_, sensed_w);
+    sensed =
+        units::Watts{observer_.update(last_delta_.value(), sensed.value())};
   }
   // Error in percentage points of the chip power scale, matching the units
   // the plant gain a_i was identified in (% power per GHz).
-  last_error_pct_ = (target_w_ - sensed_w) / config_.power_scale_w * 100.0;
+  last_error_ = units::Percent{(target_ - sensed).value() /
+                               config_.power_scale_w * 100.0};
+
+  const units::GigaHertz min_freq{config_.min_freq_ghz};
+  const units::GigaHertz max_freq{config_.max_freq_ghz};
 
   // Sub-quantum errors: hold the current request. The PID produces no output
   // and accumulates no integral, so neither reacts to noise the actuator
   // cannot correct anyway -- but the error sample is still observed: the
   // derivative must differentiate against the previous interval, not across
   // the whole held gap (which would kick on deadband exit).
-  if (std::abs(last_error_pct_) < config_.deadband_pct) {
-    pid_.observe_error(last_error_pct_);
-    last_delta_ghz_ = 0.0;
-    return freq_request_ghz_;
+  if (units::abs(last_error_) < units::Percent{config_.deadband_pct}) {
+    pid_.observe_error(last_error_);
+    last_delta_ = units::GigaHertz{0.0};
+    return freq_request_;
   }
 
   // Conditional-integration anti-windup: when the frequency request is
@@ -57,34 +63,38 @@ double Pic::invoke(double measured_utilization, double level_scale) {
   // cannot consume its provisioned power even at fmax), accumulating the
   // integral would delay the response to the next demand swing.
   const bool saturated_high =
-      freq_request_ghz_ >= config_.max_freq_ghz - 1e-9 && last_error_pct_ > 0.0;
+      freq_request_ >= max_freq - units::GigaHertz{1e-9} &&
+      last_error_ > units::Percent{0.0};
   const bool saturated_low =
-      freq_request_ghz_ <= config_.min_freq_ghz + 1e-9 && last_error_pct_ < 0.0;
+      freq_request_ <= min_freq + units::GigaHertz{1e-9} &&
+      last_error_ < units::Percent{0.0};
 
-  double delta_ghz = pid_.update(last_error_pct_, saturated_high || saturated_low);
+  units::GigaHertz delta =
+      pid_.update(last_error_, saturated_high || saturated_low);
   // Gain scheduling: preserve the designed pole locations when the island's
   // identified gain differs from the design-nominal one. The step clamp is
   // applied once, after the scaling, so the full +/-max_step_ghz actuation
   // range stays available for every plant gain.
   if (config_.plant_gain > 1e-9) {
-    delta_ghz *= config_.nominal_plant_gain / config_.plant_gain;
+    delta *= config_.nominal_plant_gain / config_.plant_gain;
   }
-  delta_ghz = std::clamp(delta_ghz, -config_.max_step_ghz, config_.max_step_ghz);
+  delta = units::clamp(delta, units::GigaHertz{-config_.max_step_ghz},
+                       units::GigaHertz{config_.max_step_ghz});
 
-  const double previous = freq_request_ghz_;
-  freq_request_ghz_ = std::clamp(freq_request_ghz_ + delta_ghz,
-                                 config_.min_freq_ghz, config_.max_freq_ghz);
-  last_delta_ghz_ = freq_request_ghz_ - previous;
-  return freq_request_ghz_;
+  const units::GigaHertz previous = freq_request_;
+  freq_request_ = units::clamp(freq_request_ + delta, min_freq, max_freq);
+  last_delta_ = freq_request_ - previous;
+  return freq_request_;
 }
 
-void Pic::reset(double initial_freq_ghz) {
+void Pic::reset(units::GigaHertz initial_freq) {
   pid_.reset();
   observer_.reset();
-  last_error_pct_ = 0.0;
-  last_delta_ghz_ = 0.0;
-  freq_request_ghz_ =
-      std::clamp(initial_freq_ghz, config_.min_freq_ghz, config_.max_freq_ghz);
+  last_error_ = units::Percent{0.0};
+  last_delta_ = units::GigaHertz{0.0};
+  freq_request_ =
+      units::clamp(initial_freq, units::GigaHertz{config_.min_freq_ghz},
+                   units::GigaHertz{config_.max_freq_ghz});
 }
 
 }  // namespace cpm::core

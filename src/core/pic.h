@@ -16,6 +16,7 @@
 #include "control/observer.h"
 #include "control/pid.h"
 #include "power/sensor.h"
+#include "util/units.h"
 
 namespace cpm::core {
 
@@ -46,14 +47,14 @@ struct PicConfig {
 class Pic {
  public:
   Pic(const PicConfig& config, power::TransducerModel transducer,
-      double initial_freq_ghz);
+      units::GigaHertz initial_freq);
 
-  /// Sets the GPM-provisioned power target (watts).
-  void set_target_w(double watts) noexcept { target_w_ = watts; }
-  double target_w() const noexcept { return target_w_; }
+  /// Sets the GPM-provisioned power target.
+  void set_target(units::Watts target) noexcept { target_ = target; }
+  units::Watts target() const noexcept { return target_; }
 
   /// One controller invocation: consumes the mean utilization measured over
-  /// the last local interval and returns the requested frequency in GHz
+  /// the last local interval and returns the requested frequency
   /// (continuous; the DVFS actuator quantizes it).
   ///
   /// `level_scale` is the known dynamic-power ratio (V^2 f)_current /
@@ -62,16 +63,17 @@ class Pic {
   /// reference-level units and rescaled analytically: the controller knows
   /// its own DVFS setting, so this keeps the sensor observable across the
   /// whole DVFS range with a single calibrated line (paper Fig. 6).
-  double invoke(double measured_utilization, double level_scale = 1.0);
+  units::GigaHertz invoke(double measured_utilization,
+                          double level_scale = 1.0);
 
   /// Power the controller believes the island draws at `utilization`,
   /// clamped to the physical range: an extrapolated linear fit (negative
   /// intercept, adaptive refit from degenerate data) must never report
   /// negative watts to the control loop.
-  double sensed_power_w(double utilization,
-                        double level_scale = 1.0) const noexcept {
-    const double est = transducer_.estimate_watts(utilization) * level_scale;
-    return est > 0.0 ? est : 0.0;
+  units::Watts sensed_power(double utilization,
+                            double level_scale = 1.0) const noexcept {
+    const units::Watts est = transducer_.estimate(utilization) * level_scale;
+    return units::max(est, units::Watts{0.0});
   }
 
   const power::TransducerModel& transducer() const noexcept {
@@ -82,19 +84,19 @@ class Pic {
     transducer_ = model;
   }
 
-  double frequency_request_ghz() const noexcept { return freq_request_ghz_; }
-  double last_error_pct() const noexcept { return last_error_pct_; }
-  void reset(double initial_freq_ghz);
+  units::GigaHertz frequency_request() const noexcept { return freq_request_; }
+  units::Percent last_error() const noexcept { return last_error_; }
+  void reset(units::GigaHertz initial_freq);
 
  private:
   PicConfig config_;
   power::TransducerModel transducer_;
-  control::PidController pid_;
+  control::UnitPid<units::Percent, units::GigaHertz> pid_;
   control::ScalarObserver observer_;
-  double target_w_ = 0.0;
-  double freq_request_ghz_;
-  double last_error_pct_ = 0.0;
-  double last_delta_ghz_ = 0.0;
+  units::Watts target_{0.0};
+  units::GigaHertz freq_request_;
+  units::Percent last_error_{0.0};
+  units::GigaHertz last_delta_{0.0};
 };
 
 }  // namespace cpm::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/units.h"
 
 namespace cpm::core {
 
@@ -17,11 +18,12 @@ class ProvisioningPolicy {
  public:
   virtual ~ProvisioningPolicy() = default;
 
-  /// Splits `budget_w` across islands given the last interval's observations
-  /// and the previous allocation. Must return one non-negative value per
-  /// island; the GPM verifies the sum does not exceed the budget.
+  /// Splits `budget` across islands given the last interval's observations
+  /// and the previous allocation (watts, one entry per island). Must return
+  /// one non-negative watt value per island; the GPM verifies the sum does
+  /// not exceed the budget.
   virtual std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) = 0;
 
   virtual std::string_view name() const = 0;

@@ -13,20 +13,26 @@ void QosAwarePolicy::reset() {
   reservations_.clear();
 }
 
-double QosAwarePolicy::estimate_power_for_bips(double power_w, double bips,
-                                               double target_bips) {
-  if (power_w <= 0.0 || bips <= 0.0 || target_bips <= 0.0) return 0.0;
+units::Watts QosAwarePolicy::estimate_power_for_bips(units::Watts power,
+                                                     double bips,
+                                                     double target_bips) {
+  const double power_w = power.value();
+  if (power_w <= 0.0 || bips <= 0.0 || target_bips <= 0.0) {
+    return units::Watts{0.0};
+  }
   // Performance ~ f and dynamic power ~ f^3 over the DVFS range (paper
   // Eqs. 1/3), so the power to reach the target scales with the cube of the
   // throughput ratio. Clamped: the estimate is only trusted near the
   // current operating point.
   const double ratio = std::clamp(target_bips / bips, 0.2, 5.0);
-  return power_w * ratio * ratio * ratio;
+  return units::Watts{power_w * ratio * ratio * ratio};
 }
 
 std::vector<double> QosAwarePolicy::provision(
-    double budget_w, std::span<const IslandObservation> observations,
+    units::Watts budget, std::span<const IslandObservation> observations,
     std::span<const double> previous_alloc_w) {
+  const double budget_w = budget.value();
+  (void)budget_w;
   const std::size_t n = observations.size();
   if (config_.min_bips.size() != n) config_.min_bips.resize(n, 0.0);
 
@@ -36,8 +42,9 @@ std::vector<double> QosAwarePolicy::provision(
   for (std::size_t i = 0; i < n; ++i) {
     if (config_.min_bips[i] <= 0.0) continue;
     reservations_[i] =
-        estimate_power_for_bips(observations[i].power_w, observations[i].bips,
-                                config_.min_bips[i]) *
+        estimate_power_for_bips(units::Watts{observations[i].power_w},
+                                observations[i].bips, config_.min_bips[i])
+            .value() *
         config_.headroom;
     reserved_total += reservations_[i];
   }
@@ -52,7 +59,7 @@ std::vector<double> QosAwarePolicy::provision(
   // --- split the residual with the performance-aware policy ----------------
   const double residual = budget_w - reserved_total;
   std::vector<double> alloc =
-      inner_.provision(std::max(1e-9, residual), observations,
+      inner_.provision(units::Watts{std::max(1e-9, residual)}, observations,
                        previous_alloc_w);
   for (std::size_t i = 0; i < n; ++i) alloc[i] += reservations_[i];
   return alloc;

@@ -33,7 +33,7 @@ class QosAwarePolicy final : public ProvisioningPolicy {
   explicit QosAwarePolicy(const QosPolicyConfig& config = {});
 
   std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) override;
 
   std::string_view name() const override { return "qos-aware"; }
@@ -45,10 +45,10 @@ class QosAwarePolicy final : public ProvisioningPolicy {
   }
 
   /// Power estimated to sustain `target_bips` for an island currently
-  /// producing `bips` at `power_w` (cube-law frequency/power scaling,
+  /// producing `bips` at `power` (cube-law frequency/power scaling,
   /// clamped to [0.2x, 5x] of the current draw). Exposed for testing.
-  static double estimate_power_for_bips(double power_w, double bips,
-                                        double target_bips);
+  static units::Watts estimate_power_for_bips(units::Watts power, double bips,
+                                              double target_bips);
 
  private:
   QosPolicyConfig config_;

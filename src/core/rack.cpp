@@ -22,7 +22,7 @@ RackManager::RackManager(const RackConfig& config,
     throw std::invalid_argument("RackManager: epoch must be positive");
   }
   double total_max = 0.0;
-  for (const auto& chip : chips_) total_max += chip->max_chip_power_w();
+  for (const auto& chip : chips_) total_max += chip->max_chip_power().value();
   rack_budget_w_ = config_.budget_fraction * total_max;
 }
 
@@ -36,12 +36,13 @@ RackResult RackManager::run(double duration_s) {
   runs.reserve(k);
   std::vector<double> budgets(k);
   double total_max = 0.0;
-  for (const auto& chip : chips_) total_max += chip->max_chip_power_w();
+  for (const auto& chip : chips_) total_max += chip->max_chip_power().value();
   for (std::size_t c = 0; c < k; ++c) {
     runs.push_back(chips_[c]->start());
     // Initial split: proportional to each chip's max power (its "size").
-    budgets[c] = rack_budget_w_ * chips_[c]->max_chip_power_w() / total_max;
-    runs[c]->set_budget_w(budgets[c]);
+    budgets[c] =
+        rack_budget_w_ * chips_[c]->max_chip_power().value() / total_max;
+    runs[c]->set_budget(units::Watts{budgets[c]});
   }
 
   // Per-chip throughput-per-watt efficiency estimate (EWMA).
@@ -60,7 +61,7 @@ RackResult RackManager::run(double duration_s) {
     // over the last GPM window of the epoch).
     double epoch_power = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
-      const double power = runs[c]->last_window_power_w();
+      const double power = runs[c]->last_window_power().value();
       const double bips = runs[c]->last_window_bips();
       epoch_power += power;
       if (power > 1e-6) {
@@ -78,7 +79,7 @@ RackResult RackManager::run(double duration_s) {
     double weight_sum = 0.0;
     std::vector<double> weight(k);
     for (std::size_t c = 0; c < k; ++c) {
-      weight[c] = efficiency[c] * chips_[c]->max_chip_power_w();
+      weight[c] = efficiency[c] * chips_[c]->max_chip_power().value();
       weight_sum += weight[c];
     }
     std::vector<double> raw(k);
@@ -86,12 +87,12 @@ RackResult RackManager::run(double duration_s) {
       raw[c] = weight_sum > 0.0 ? rack_budget_w_ * weight[c] / weight_sum
                                 : rack_budget_w_ / static_cast<double>(k);
     }
-    budgets = apply_share_bounds(std::move(raw), rack_budget_w_,
+    budgets = apply_share_bounds(std::move(raw), units::Watts{rack_budget_w_},
                                  config_.min_share, 1.0);
     for (std::size_t c = 0; c < k; ++c) {
       // Never hand a chip more than it can physically draw.
-      budgets[c] = std::min(budgets[c], chips_[c]->max_chip_power_w());
-      runs[c]->set_budget_w(budgets[c]);
+      budgets[c] = std::min(budgets[c], chips_[c]->max_chip_power().value());
+      runs[c]->set_budget(units::Watts{budgets[c]});
     }
   }
 
@@ -99,7 +100,7 @@ RackResult RackManager::run(double duration_s) {
   for (std::size_t c = 0; c < k; ++c) {
     RackChipStats stats;
     stats.budget_w = budgets[c];
-    stats.max_power_w = chips_[c]->max_chip_power_w();
+    stats.max_power_w = chips_[c]->max_chip_power().value();
     result.chip_results.push_back(runs[c]->finish());
     stats.mean_power_w = result.chip_results.back().avg_chip_power_w;
     stats.instructions = result.chip_results.back().total_instructions;

@@ -217,7 +217,7 @@ void Simulation::calibrate() {
           (powers_raw[i][k] - powers_raw[i][k - 1]) / max_power_w_ * 100.0);
     }
     const control::GainEstimate est = control::estimate_plant_gain(df, dp_pct);
-    calibration_.plant_gains.push_back(std::max(0.05, est.gain));
+    calibration_.plant_gains.push_back(std::max(0.05, est.gain.value()));
     calibration_.plant_gain_r2.push_back(est.r_squared);
     util::log_info() << "calibration island " << i << ": transducer k1="
                      << calibration_.transducers[i].k1
@@ -266,14 +266,14 @@ SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
       n_(owner.config_.cmp.num_islands),
       ticks_per_pic_(owner.config_.cmp.ticks_per_pic_interval),
       pics_per_gpm_(owner.config_.cmp.pic_invocations_per_gpm()),
-      fmax_(owner.config_.cmp.dvfs.max_freq()),
+      fmax_(owner.config_.cmp.dvfs.max_freq().value()),
       live_budget_w_(owner.budget_w_),
       owned_sink_(sink ? nullptr : std::make_unique<InMemorySink>()),
       sink_(sink ? sink : owned_sink_.get()) {
   const SimulationConfig& config = owner.config_;
   const auto& cmp = config.cmp;
   const CalibrationResult& calibration = owner.calibration_;
-  chip_.set_max_power_w(owner.max_power_w_);
+  chip_.set_max_power(units::Watts{owner.max_power_w_});
 
   // ---- build the manager -------------------------------------------------
   if (config.manager == ManagerKind::kCpm) {
@@ -314,13 +314,14 @@ SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
         break;
       }
     }
-    gpm_ = std::make_unique<Gpm>(std::move(policy), live_budget_w_, n_);
+    gpm_ = std::make_unique<Gpm>(std::move(policy),
+                                 units::Watts{live_budget_w_}, n_);
     for (std::size_t i = 0; i < n_; ++i) {
       PicConfig pc;
       pc.gains = config.pid_gains;
       pc.plant_gain = calibration.plant_gains[i];
-      pc.min_freq_ghz = cmp.dvfs.min_freq();
-      pc.max_freq_ghz = cmp.dvfs.max_freq();
+      pc.min_freq_ghz = cmp.dvfs.min_freq().value();
+      pc.max_freq_ghz = cmp.dvfs.max_freq().value();
       pc.power_scale_w = owner.max_power_w_;
       pc.max_step_ghz = config.pic_max_step_ghz;
       pc.deadband_pct = config.pic_deadband_pct;
@@ -336,8 +337,9 @@ SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
       chip_.island(i).actuator().set_level(init_level);
       chip_.island(i).actuator().consume_stall(1.0);  // no startup stall
       pics_.emplace_back(pc, calibration.transducers[i],
-                         cmp.dvfs.level(init_level).freq_ghz);
-      pics_.back().set_target_w(live_budget_w_ / static_cast<double>(n_));
+                         units::GigaHertz{cmp.dvfs.level(init_level).freq_ghz});
+      pics_.back().set_target(
+          units::Watts{live_budget_w_ / static_cast<double>(n_)});
       // Migration invalidates the per-island transducer calibration (the
       // island's thread mix changes), so online recalibration is mandatory
       // whenever migration is enabled.
@@ -348,7 +350,8 @@ SimulationRun::SimulationRun(Simulation& owner, RecordSink* sink)
   } else if (config.manager == ManagerKind::kMaxBips) {
     MaxBipsConfig mc;
     mc.dvfs = cmp.dvfs;
-    maxbips_ = std::make_unique<MaxBipsManager>(mc, live_budget_w_);
+    maxbips_ =
+        std::make_unique<MaxBipsManager>(mc, units::Watts{live_budget_w_});
   }
 
   // MaxBIPS's static prediction table: each island characterized once, at
@@ -388,11 +391,11 @@ double SimulationRun::instructions() const {
   return result_.total_instructions;
 }
 
-double SimulationRun::last_window_power_w() const {
+units::Watts SimulationRun::last_window_power() const {
   if (finished_) {
     throw std::logic_error("SimulationRun: observables invalid after finish()");
   }
-  return last_gpm_power_w_;
+  return units::Watts{last_gpm_power_w_};
 }
 
 double SimulationRun::last_window_bips() const {
@@ -402,7 +405,8 @@ double SimulationRun::last_window_bips() const {
   return last_gpm_bips_;
 }
 
-void SimulationRun::set_budget_w(double watts) {
+void SimulationRun::set_budget(units::Watts budget) {
+  const double watts = budget.value();
   if (!(watts > 0.0) || !std::isfinite(watts)) {
     throw std::invalid_argument("SimulationRun: budget must be positive");
   }
@@ -508,13 +512,13 @@ void SimulationRun::pic_boundary(double now) {
       if (!adaptive_.empty()) {
         // Online observations are normalized to the reference level, like
         // the offline calibration samples.
-        adaptive_[i].observe(u, rec.actual_w / scale);
+        adaptive_[i].observe(u, units::Watts{rec.actual_w / scale});
         pics_[i].set_transducer(adaptive_[i].model());
       }
-      rec.target_w = pics_[i].target_w();
-      rec.sensed_w = pics_[i].sensed_power_w(u, scale);
+      rec.target_w = pics_[i].target().value();
+      rec.sensed_w = pics_[i].sensed_power(u, scale).value();
       gpm_sensed_energy_[i] += rec.sensed_w * cmp.pic_interval_s;
-      const double freq_req = pics_[i].invoke(u, scale);
+      const units::GigaHertz freq_req = pics_[i].invoke(u, scale);
       chip_.island(i).actuator().request_frequency(freq_req);
     } else {
       rec.target_w = live_budget_w_ / static_cast<double>(n_);
@@ -531,7 +535,7 @@ void SimulationRun::gpm_boundary(double now) {
   const SimulationConfig& config = owner_->config_;
   const auto& cmp = config.cmp;
 
-  // Budget updates: a supervisor override (set_budget_w) may be pending;
+  // Budget updates: a supervisor override (set_budget) may be pending;
   // the configured schedule is processed after it and therefore takes
   // precedence when both land on the same boundary (the schedule is part of
   // the experiment's definition; the override is advisory).
@@ -544,8 +548,8 @@ void SimulationRun::gpm_boundary(double now) {
   if (pending_budget_w_ > 0.0) {
     live_budget_w_ = pending_budget_w_;
     pending_budget_w_ = -1.0;
-    if (gpm_) gpm_->set_budget_w(live_budget_w_);
-    if (maxbips_) maxbips_->set_budget_w(live_budget_w_);
+    if (gpm_) gpm_->set_budget(units::Watts{live_budget_w_});
+    if (maxbips_) maxbips_->set_budget(units::Watts{live_budget_w_});
   }
 
   std::vector<IslandObservation> obs(n_);
@@ -571,7 +575,9 @@ void SimulationRun::gpm_boundary(double now) {
 
   if (config.manager == ManagerKind::kCpm) {
     const std::vector<double> alloc = gpm_->invoke(obs);
-    for (std::size_t i = 0; i < n_; ++i) pics_[i].set_target_w(alloc[i]);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pics_[i].set_target(units::Watts{alloc[i]});
+    }
     rec.island_alloc_w = alloc;
   } else if (config.manager == ManagerKind::kMaxBips) {
     const std::vector<std::size_t> levels = maxbips_->choose_levels(

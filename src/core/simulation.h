@@ -31,6 +31,7 @@
 #include "power/sensor.h"
 #include "sim/chip.h"
 #include "thermal/hotspot.h"
+#include "util/units.h"
 #include "thermal/rc_model.h"
 
 namespace cpm::core {
@@ -181,19 +182,23 @@ class SimulationRun {
 
   /// Re-targets the chip budget; takes effect at the next GPM boundary
   /// (exactly like a budget_schedule entry).
-  void set_budget_w(double watts);
+  void set_budget(units::Watts budget);
 
   double elapsed_s() const noexcept;
-  double budget_w() const noexcept { return live_budget_w_; }
+  units::Watts budget() const noexcept {
+    return units::Watts{live_budget_w_};
+  }
   /// Mean chip power / BIPS over everything simulated so far.
-  double mean_power_w() const noexcept { return chip_power_stats_.mean(); }
+  units::Watts mean_power() const noexcept {
+    return units::Watts{chip_power_stats_.mean()};
+  }
   double mean_bips() const noexcept { return chip_bips_stats_.mean(); }
   /// Instructions retired so far. Like the other live observables, invalid
   /// once finish() has consumed the run (throws).
   double instructions() const;
   /// Mean chip power over the last completed GPM window (0 before the
   /// first window) -- the observable a rack tier provisions on.
-  double last_window_power_w() const;
+  units::Watts last_window_power() const;
   double last_window_bips() const;
 
  private:
@@ -290,8 +295,10 @@ class Simulation {
 
   /// "Maximum chip power": the unmanaged (all-fmax) peak chip power measured
   /// during calibration. Budgets are fractions of this, as in the paper.
-  double max_chip_power_w() const noexcept { return max_power_w_; }
-  double budget_w() const noexcept { return budget_w_; }
+  units::Watts max_chip_power() const noexcept {
+    return units::Watts{max_power_w_};
+  }
+  units::Watts budget() const noexcept { return units::Watts{budget_w_}; }
   const CalibrationResult& calibration() const noexcept { return calibration_; }
   const SimulationConfig& config() const noexcept { return config_; }
 

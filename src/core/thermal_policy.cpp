@@ -18,7 +18,8 @@ ThermalConstraintTracker::ThermalConstraintTracker(
 }
 
 bool ThermalConstraintTracker::record(std::span<const double> alloc_w,
-                                      double budget_w) {
+                                      units::Watts budget) {
+  const double budget_w = budget.value();
   if (alloc_w.size() != single_streak_.size()) {
     throw std::invalid_argument("ThermalConstraintTracker: size mismatch");
   }
@@ -43,7 +44,8 @@ bool ThermalConstraintTracker::record(std::span<const double> alloc_w,
 }
 
 bool ThermalConstraintTracker::would_violate(std::span<const double> alloc_w,
-                                             double budget_w) const {
+                                             units::Watts budget) const {
+  const double budget_w = budget.value();
   for (std::size_t p = 0; p < constraints_.adjacent_pairs.size(); ++p) {
     const auto& [a, b] = constraints_.adjacent_pairs[p];
     if (alloc_w[a] + alloc_w[b] > constraints_.pair_cap_share * budget_w &&
@@ -61,7 +63,8 @@ bool ThermalConstraintTracker::would_violate(std::span<const double> alloc_w,
 }
 
 std::vector<double> ThermalConstraintTracker::enforce(
-    std::vector<double> alloc, double budget_w) const {
+    std::vector<double> alloc, units::Watts budget) const {
+  const double budget_w = budget.value();
   constexpr double kMargin = 0.999;
   const std::size_t n = alloc.size();
   const auto& cons = constraints_;
@@ -167,11 +170,13 @@ ThermalAwarePolicy::ThermalAwarePolicy(
 }
 
 std::vector<double> ThermalAwarePolicy::provision(
-    double budget_w, std::span<const IslandObservation> observations,
+    units::Watts budget, std::span<const IslandObservation> observations,
     std::span<const double> previous_alloc_w) {
+  const double budget_w = budget.value();
+  (void)budget_w;
   std::vector<double> alloc = tracker_.enforce(
-      base_->provision(budget_w, observations, previous_alloc_w), budget_w);
-  tracker_.record(alloc, budget_w);
+      base_->provision(budget, observations, previous_alloc_w), budget);
+  tracker_.record(alloc, budget);
   return alloc;
 }
 

@@ -53,21 +53,22 @@ class ThermalConstraintTracker {
 
   /// Records one interval's allocation; returns true if it completes a
   /// violation (an over-cap streak reaching its consecutive limit).
-  bool record(std::span<const double> alloc_w, double budget_w);
+  bool record(std::span<const double> alloc_w, units::Watts budget);
 
   std::size_t intervals() const noexcept { return intervals_; }
   std::size_t violation_intervals() const noexcept { return violations_; }
   double violation_fraction() const noexcept;
 
   /// True if adding this allocation *would* complete a violation streak.
-  bool would_violate(std::span<const double> alloc_w, double budget_w) const;
+  bool would_violate(std::span<const double> alloc_w,
+                     units::Watts budget) const;
 
   /// Clamps `alloc_w` so that recording it cannot complete any violation
   /// streak. Clamped power is redistributed to islands with headroom under
   /// every streak-critical constraint; any unplaceable remainder is dropped
   /// (the thermal policy may under-use the budget, never violate it).
   std::vector<double> enforce(std::vector<double> alloc_w,
-                              double budget_w) const;
+                              units::Watts budget) const;
 
   const ThermalConstraints& constraints() const noexcept { return constraints_; }
   void reset();
@@ -86,7 +87,7 @@ class ThermalAwarePolicy final : public ProvisioningPolicy {
                      ThermalConstraints constraints, std::size_t num_islands);
 
   std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) override;
 
   std::string_view name() const override { return "thermal-aware"; }

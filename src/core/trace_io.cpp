@@ -34,11 +34,18 @@ std::size_t to_size(const std::string& s, const char* context) {
 /// (numeric values only, no nesting beyond one array level, keys unique).
 std::string_view json_value_at(std::string_view line, std::string_view key,
                                const char* context) {
-  const std::string needle = "\"" + std::string(key) + "\":";
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
   const std::size_t at = line.find(needle);
   if (at == std::string_view::npos) {
-    throw std::runtime_error(std::string("trace_io: missing JSON key in ") +
-                             context + ": " + std::string(key));
+    std::string msg = "trace_io: missing JSON key in ";
+    msg += context;
+    msg += ": ";
+    msg += key;
+    throw std::runtime_error(msg);
   }
   const std::size_t start = at + needle.size();
   std::size_t end = start;
@@ -71,8 +78,10 @@ std::vector<double> json_array(std::string_view line, std::string_view key,
 }
 
 bool json_type_is(std::string_view line, std::string_view type) {
-  return line.find("\"type\":\"" + std::string(type) + "\"") !=
-         std::string_view::npos;
+  std::string needle = "\"type\":\"";
+  needle += type;
+  needle += '"';
+  return line.find(needle) != std::string_view::npos;
 }
 
 }  // namespace

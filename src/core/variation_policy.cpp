@@ -14,8 +14,10 @@ void VariationAwarePolicy::reset() {
 }
 
 std::vector<double> VariationAwarePolicy::provision(
-    double budget_w, std::span<const IslandObservation> observations,
+    units::Watts budget, std::span<const IslandObservation> observations,
     std::span<const double> previous_alloc_w) {
+  const double budget_w = budget.value();
+  (void)budget_w;
   const std::size_t n = observations.size();
   if (level_.size() != n) {
     level_.assign(n, config_.dvfs.max_level());

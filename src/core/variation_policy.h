@@ -34,7 +34,7 @@ class VariationAwarePolicy final : public ProvisioningPolicy {
   explicit VariationAwarePolicy(const VariationPolicyConfig& config = {});
 
   std::vector<double> provision(
-      double budget_w, std::span<const IslandObservation> observations,
+      units::Watts budget, std::span<const IslandObservation> observations,
       std::span<const double> previous_alloc_w) override;
 
   std::string_view name() const override { return "variation-aware"; }

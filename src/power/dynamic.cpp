@@ -12,21 +12,23 @@ DynamicPowerModel::DynamicPowerModel(double ceff_base_w_per_v2ghz)
   }
 }
 
-double DynamicPowerModel::core_watts(const sim::CoreTick& tick,
-                                     const sim::DvfsPoint& op) const noexcept {
-  return watts(op.voltage, op.freq_ghz, tick.utilization, tick.activity,
-               tick.activity_idle, tick.ceff_scale);
+units::Watts DynamicPowerModel::core_power(
+    const sim::CoreTick& tick, const sim::DvfsPoint& op) const noexcept {
+  return power(units::Volts{op.voltage}, units::GigaHertz{op.freq_ghz},
+               tick.utilization, tick.activity, tick.activity_idle,
+               tick.ceff_scale);
 }
 
-double DynamicPowerModel::watts(double voltage, double freq_ghz,
-                                double utilization, double activity_busy,
-                                double activity_idle,
-                                double ceff_scale) const noexcept {
+units::Watts DynamicPowerModel::power(units::Volts voltage,
+                                      units::GigaHertz freq,
+                                      double utilization, double activity_busy,
+                                      double activity_idle,
+                                      double ceff_scale) const noexcept {
   const double u = std::clamp(utilization, 0.0, 1.0);
   const double effective_activity =
       u * activity_busy + (1.0 - u) * activity_idle;
-  return ceff_base_ * ceff_scale * voltage * voltage * freq_ghz *
-         effective_activity;
+  return units::Watts{ceff_base_ * ceff_scale * voltage.value() *
+                      voltage.value() * freq.value() * effective_activity};
 }
 
 }  // namespace cpm::power

@@ -11,6 +11,7 @@
 
 #include "sim/core.h"
 #include "sim/dvfs.h"
+#include "util/units.h"
 
 namespace cpm::power {
 
@@ -19,15 +20,15 @@ class DynamicPowerModel {
   /// `ceff_base_w_per_v2ghz`: watts per (V^2 * GHz) at activity 1, ceff 1.
   explicit DynamicPowerModel(double ceff_base_w_per_v2ghz);
 
-  /// Dynamic watts for one core at operating point `op`.
-  double core_watts(const sim::CoreTick& tick, const sim::DvfsPoint& op) const
-      noexcept;
+  /// Dynamic power for one core at operating point `op`.
+  units::Watts core_power(const sim::CoreTick& tick,
+                          const sim::DvfsPoint& op) const noexcept;
 
-  /// Dynamic watts from raw parameters (used for max-power bounds and the
+  /// Dynamic power from raw parameters (used for max-power bounds and the
   /// transducer's analytic checks).
-  double watts(double voltage, double freq_ghz, double utilization,
-               double activity_busy, double activity_idle,
-               double ceff_scale) const noexcept;
+  units::Watts power(units::Volts voltage, units::GigaHertz freq,
+                     double utilization, double activity_busy,
+                     double activity_idle, double ceff_scale) const noexcept;
 
   double ceff_base() const noexcept { return ceff_base_; }
 

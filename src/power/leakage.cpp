@@ -5,18 +5,18 @@
 
 namespace cpm::power {
 
-LeakageModel::LeakageModel(double k_design_w_per_v, double temp_beta,
+LeakageModel::LeakageModel(units::WattsPerVolt k_design, double temp_beta,
                            double ref_temp_c)
-    : k_design_(k_design_w_per_v), beta_(temp_beta), ref_temp_c_(ref_temp_c) {
+    : k_design_(k_design.value()), beta_(temp_beta), ref_temp_c_(ref_temp_c) {
   if (k_design_ < 0.0) {
     throw std::invalid_argument("LeakageModel: k_design must be >= 0");
   }
 }
 
-double LeakageModel::core_watts(double voltage, double temp_c,
-                                double leak_mult) const noexcept {
-  return k_design_ * leak_mult * voltage *
-         std::exp(beta_ * (temp_c - ref_temp_c_));
+units::Watts LeakageModel::core_power(units::Volts voltage, double temp_c,
+                                      double leak_mult) const noexcept {
+  return units::Watts{k_design_ * leak_mult * voltage.value() *
+                      std::exp(beta_ * (temp_c - ref_temp_c_))};
 }
 
 }  // namespace cpm::power

@@ -5,15 +5,18 @@
 // exponential captures the leakage-temperature feedback HotLeakage models.
 #pragma once
 
+#include "util/units.h"
+
 namespace cpm::power {
 
 class LeakageModel {
  public:
-  /// `k_design_w_per_v`: watts per volt per core at T0 with leak_mult 1.
-  LeakageModel(double k_design_w_per_v, double temp_beta, double ref_temp_c);
+  /// `k_design`: watts per volt per core at T0 with leak_mult 1.
+  LeakageModel(units::WattsPerVolt k_design, double temp_beta,
+               double ref_temp_c);
 
-  double core_watts(double voltage, double temp_c,
-                    double leak_mult = 1.0) const noexcept;
+  units::Watts core_power(units::Volts voltage, double temp_c,
+                          double leak_mult = 1.0) const noexcept;
 
   double ref_temp_c() const noexcept { return ref_temp_c_; }
 

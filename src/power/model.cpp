@@ -7,8 +7,8 @@ namespace cpm::power {
 PowerModel::PowerModel(const sim::CmpConfig& config,
                        std::vector<double> island_leak_mults)
     : dynamic_(config.ceff_base_w_per_v2ghz),
-      leakage_(config.leakage_w_per_v, config.leakage_temp_beta,
-               config.leakage_ref_temp_c),
+      leakage_(units::WattsPerVolt{config.leakage_w_per_v},
+               config.leakage_temp_beta, config.leakage_ref_temp_c),
       dvfs_(config.dvfs),
       island_leak_mults_(std::move(island_leak_mults)) {
   if (!island_leak_mults_.empty() &&
@@ -30,9 +30,12 @@ PowerBreakdown PowerModel::core_power(const sim::CoreTick& tick,
                                       std::size_t island_idx,
                                       double temp_c) const {
   PowerBreakdown out;
-  out.dynamic_w = dynamic_.core_watts(tick, op);
+  out.dynamic_w = dynamic_.core_power(tick, op).value();
   out.leakage_w =
-      leakage_.core_watts(op.voltage, temp_c, island_leak_mult(island_idx));
+      leakage_
+          .core_power(units::Volts{op.voltage}, temp_c,
+                      island_leak_mult(island_idx))
+          .value();
   return out;
 }
 
@@ -54,17 +57,19 @@ PowerBreakdown PowerModel::island_power(
   return out;
 }
 
-double PowerModel::max_chip_power_w(const workload::Mix& mix,
-                                    double thermal_margin_c) const {
+units::Watts PowerModel::max_chip_power(const workload::Mix& mix,
+                                        double thermal_margin_c) const {
   const sim::DvfsPoint top = dvfs_.level(dvfs_.max_level());
   const double hot_temp = leakage_.ref_temp_c() + thermal_margin_c;
-  double total = 0.0;
+  units::Watts total{};
   for (std::size_t i = 0; i < mix.islands.size(); ++i) {
     for (const auto* profile : mix.islands[i]) {
-      total += dynamic_.watts(top.voltage, top.freq_ghz, /*utilization=*/1.0,
-                              profile->activity_active, profile->activity_idle,
-                              profile->ceff_scale);
-      total += leakage_.core_watts(top.voltage, hot_temp, island_leak_mult(i));
+      total += dynamic_.power(units::Volts{top.voltage},
+                              units::GigaHertz{top.freq_ghz},
+                              /*utilization=*/1.0, profile->activity_active,
+                              profile->activity_idle, profile->ceff_scale);
+      total += leakage_.core_power(units::Volts{top.voltage}, hot_temp,
+                                   island_leak_mult(i));
     }
   }
   return total;

@@ -39,8 +39,8 @@ class PowerModel {
   /// Maximum chip power for this mix: every core at the top DVFS level, full
   /// utilization, its own activity/capacitance, leakage at the reference
   /// temperature + `thermal_margin_c`.
-  double max_chip_power_w(const workload::Mix& mix,
-                          double thermal_margin_c = 25.0) const;
+  units::Watts max_chip_power(const workload::Mix& mix,
+                              double thermal_margin_c = 25.0) const;
 
   double island_leak_mult(std::size_t island_idx) const noexcept;
   const DynamicPowerModel& dynamic_model() const noexcept { return dynamic_; }

@@ -27,39 +27,40 @@ RegulatorModel::RegulatorModel(const RegulatorConfig& config)
                 (relative_loss * config_.design_load_w);
 }
 
-double RegulatorModel::loss_w(double load_w) const noexcept {
-  const double load = std::max(0.0, load_w);
+units::Watts RegulatorModel::loss(units::Watts load_in) const noexcept {
+  const double load = std::max(0.0, load_in.value());
   const double d = config_.design_load_w;
   // Fixed (load-independent) switching/control losses + conduction losses
   // growing with the square of the load current.
   const double fixed = config_.fixed_loss_fraction * d;
   const double conduction =
       config_.conduction_loss_fraction * (load * load) / d;
-  return config_.fixed_floor_w + loss_scale_ * (fixed + conduction);
+  return units::Watts{config_.fixed_floor_w +
+                      loss_scale_ * (fixed + conduction)};
 }
 
-double RegulatorModel::input_power_w(double load_w) const noexcept {
-  return std::max(0.0, load_w) + loss_w(load_w);
+units::Watts RegulatorModel::input_power(units::Watts load) const noexcept {
+  return units::max(units::Watts{0.0}, load) + loss(load);
 }
 
-double RegulatorModel::efficiency(double load_w) const noexcept {
-  const double load = std::max(0.0, load_w);
-  if (load == 0.0) return 0.0;
-  return load / input_power_w(load);
+double RegulatorModel::efficiency(units::Watts load_in) const noexcept {
+  const units::Watts load = units::max(units::Watts{0.0}, load_in);
+  if (load.value() == 0.0) return 0.0;
+  return load / input_power(load);
 }
 
-double RegulatorModel::area_mm2(double peak_load_w) const noexcept {
+double RegulatorModel::area_mm2(units::Watts peak_load) const noexcept {
   // A fixed control/driver floor plus power-stage area proportional to the
   // current the regulator must deliver.
   constexpr double kAreaFloorMm2 = 0.4;
-  return kAreaFloorMm2 +
-         config_.area_mm2_per_design_watt * std::max(0.0, peak_load_w);
+  return kAreaFloorMm2 + config_.area_mm2_per_design_watt *
+                             std::max(0.0, peak_load.value());
 }
 
 GranularityCost dvfs_granularity_cost(std::size_t total_cores,
                                       std::size_t cores_per_domain,
-                                      double load_per_core_w,
-                                      double peak_per_core_w,
+                                      units::Watts load_per_core,
+                                      units::Watts peak_per_core,
                                       const RegulatorConfig& base) {
   if (cores_per_domain == 0 || total_cores == 0) {
     throw std::invalid_argument("dvfs_granularity_cost: zero cores");
@@ -69,17 +70,17 @@ GranularityCost dvfs_granularity_cost(std::size_t total_cores,
 
   RegulatorConfig domain_cfg = base;
   domain_cfg.design_load_w =
-      peak_per_core_w * static_cast<double>(cores_per_domain);
+      (peak_per_core * static_cast<double>(cores_per_domain)).value();
   const RegulatorModel regulator(domain_cfg);
 
-  const double domain_load =
-      load_per_core_w * static_cast<double>(cores_per_domain);
+  const units::Watts domain_load =
+      load_per_core * static_cast<double>(cores_per_domain);
   cost.delivered_w =
-      load_per_core_w * static_cast<double>(total_cores);
+      (load_per_core * static_cast<double>(total_cores)).value();
   cost.regulator_loss_w =
-      regulator.loss_w(domain_load) * static_cast<double>(cost.domains);
+      (regulator.loss(domain_load) * static_cast<double>(cost.domains)).value();
   cost.regulator_area_mm2 =
-      regulator.area_mm2(domain_cfg.design_load_w) *
+      regulator.area_mm2(units::Watts{domain_cfg.design_load_w}) *
       static_cast<double>(cost.domains);
   cost.overhead_fraction =
       cost.delivered_w > 0.0 ? cost.regulator_loss_w / cost.delivered_w : 0.0;

@@ -13,6 +13,8 @@
 
 #include <cstddef>
 
+#include "util/units.h"
+
 namespace cpm::power {
 
 struct RegulatorConfig {
@@ -38,17 +40,17 @@ class RegulatorModel {
  public:
   explicit RegulatorModel(const RegulatorConfig& config = {});
 
-  /// Input power drawn from the supply to deliver `load_w` to the domain.
-  double input_power_w(double load_w) const noexcept;
+  /// Input power drawn from the supply to deliver `load` to the domain.
+  units::Watts input_power(units::Watts load) const noexcept;
 
-  /// Conversion loss in watts at the given load.
-  double loss_w(double load_w) const noexcept;
+  /// Conversion loss at the given load.
+  units::Watts loss(units::Watts load) const noexcept;
 
   /// Efficiency = load / input at the given load (0 for a zero load).
-  double efficiency(double load_w) const noexcept;
+  double efficiency(units::Watts load) const noexcept;
 
-  /// Regulator die area for a domain whose peak load is `peak_load_w`.
-  double area_mm2(double peak_load_w) const noexcept;
+  /// Regulator die area for a domain whose peak load is `peak_load`.
+  double area_mm2(units::Watts peak_load) const noexcept;
 
   const RegulatorConfig& config() const noexcept { return config_; }
 
@@ -70,8 +72,8 @@ struct GranularityCost {
 
 GranularityCost dvfs_granularity_cost(std::size_t total_cores,
                                       std::size_t cores_per_domain,
-                                      double load_per_core_w,
-                                      double peak_per_core_w,
+                                      units::Watts load_per_core,
+                                      units::Watts peak_per_core,
                                       const RegulatorConfig& base = {});
 
 }  // namespace cpm::power

@@ -18,7 +18,9 @@ AdaptiveTransducer::AdaptiveTransducer(TransducerModel initial,
                                        double forgetting) noexcept
     : initial_(initial), forgetting_(forgetting) {}
 
-void AdaptiveTransducer::observe(double utilization, double power_w) noexcept {
+void AdaptiveTransducer::observe(double utilization,
+                                 units::Watts power) noexcept {
+  const double power_w = power.value();
   w_ = forgetting_ * w_ + 1.0;
   sx_ = forgetting_ * sx_ + utilization;
   sy_ = forgetting_ * sy_ + power_w;

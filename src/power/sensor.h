@@ -11,6 +11,7 @@
 #include <span>
 
 #include "util/stats.h"
+#include "util/units.h"
 
 namespace cpm::power {
 
@@ -20,8 +21,8 @@ struct TransducerModel {
   double k0 = 0.0;  // intercept: watts
   double r_squared = 0.0;
 
-  double estimate_watts(double utilization) const noexcept {
-    return k1 * utilization + k0;
+  units::Watts estimate(double utilization) const noexcept {
+    return units::Watts{k1 * utilization + k0};
   }
 };
 
@@ -39,14 +40,14 @@ class AdaptiveTransducer {
                               double forgetting = 0.995) noexcept;
 
   /// Feeds one (utilization, true/estimated power) calibration observation.
-  void observe(double utilization, double power_w) noexcept;
+  void observe(double utilization, units::Watts power) noexcept;
 
   /// Current model (falls back to the initial model until two or more
   /// sufficiently spread samples arrive).
   TransducerModel model() const noexcept;
 
-  double estimate_watts(double utilization) const noexcept {
-    return model().estimate_watts(utilization);
+  units::Watts estimate(double utilization) const noexcept {
+    return model().estimate(utilization);
   }
   std::size_t samples() const noexcept { return n_; }
 

@@ -92,14 +92,14 @@ StructuralPowerModel::activity_factors(const workload::InstructionMix& mix) {
 }
 
 std::vector<UnitPower> StructuralPowerModel::breakdown(
-    const workload::InstructionMix& mix, double utilization, double voltage,
-    double freq_ghz, double idle_factor) const {
+    const workload::InstructionMix& mix, double utilization,
+    units::Volts voltage, units::GigaHertz freq, double idle_factor) const {
   const auto activity = activity_factors(mix);
   const double u = std::min(1.0, std::max(0.0, utilization));
-  const double v2f = voltage * voltage * freq_ghz;
+  const double v2f = voltage.value() * voltage.value() * freq.value();
 
-  std::vector<UnitPower> units;
-  units.reserve(ceff_.size());
+  std::vector<UnitPower> parts;
+  parts.reserve(ceff_.size());
   double total = 0.0;
   for (std::size_t i = 0; i < ceff_.size(); ++i) {
     const double act = u * activity[i] + (1.0 - u * activity[i]) * idle_factor;
@@ -107,20 +107,19 @@ std::vector<UnitPower> StructuralPowerModel::breakdown(
     up.unit = static_cast<Unit>(i);
     up.watts = ceff_[i] * v2f * act;
     total += up.watts;
-    units.push_back(up);
+    parts.push_back(up);
   }
-  for (auto& up : units) up.share = total > 0.0 ? up.watts / total : 0.0;
-  return units;
+  for (auto& up : parts) up.share = total > 0.0 ? up.watts / total : 0.0;
+  return parts;
 }
 
-double StructuralPowerModel::total_watts(const workload::InstructionMix& mix,
-                                         double utilization, double voltage,
-                                         double freq_ghz,
-                                         double idle_factor) const {
-  double total = 0.0;
-  for (const auto& up :
-       breakdown(mix, utilization, voltage, freq_ghz, idle_factor)) {
-    total += up.watts;
+units::Watts StructuralPowerModel::total_power(
+    const workload::InstructionMix& mix, double utilization,
+    units::Volts voltage, units::GigaHertz freq, double idle_factor) const {
+  units::Watts total{};
+  for (const auto& up : breakdown(mix, utilization, voltage, freq,
+                                  idle_factor)) {
+    total += units::Watts{up.watts};
   }
   return total;
 }

@@ -52,14 +52,15 @@ class StructuralPowerModel {
   /// `mix` at `utilization`, operating point (voltage, freq_ghz). Idle
   /// structures draw `idle_factor` of their active power (cc3-style gating).
   std::vector<UnitPower> breakdown(const workload::InstructionMix& mix,
-                                   double utilization, double voltage,
-                                   double freq_ghz,
+                                   double utilization, units::Volts voltage,
+                                   units::GigaHertz freq,
                                    double idle_factor = 0.1) const;
 
   /// Sum of the breakdown (same inputs).
-  double total_watts(const workload::InstructionMix& mix, double utilization,
-                     double voltage, double freq_ghz,
-                     double idle_factor = 0.1) const;
+  units::Watts total_power(const workload::InstructionMix& mix,
+                           double utilization, units::Volts voltage,
+                           units::GigaHertz freq,
+                           double idle_factor = 0.1) const;
 
   /// The unit's geometric effective capacitance (W per V^2 GHz at full
   /// activity), before activity weighting.

@@ -136,7 +136,8 @@ MemoryHierarchy::MemoryHierarchy(const Config& config)
       l2_(config.l2_size_kb, config.l2_ways, config.block_bytes) {}
 
 double MemoryHierarchy::access_cycles(std::uint64_t address, bool is_write,
-                                      double freq_ghz) {
+                                      units::GigaHertz freq) {
+  const double freq_ghz = freq.value();
   double cycles = static_cast<double>(config_.l1_latency_cycles);
   if (l1_.access(address, is_write)) return cycles;
 

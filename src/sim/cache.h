@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/noc.h"
+#include "util/units.h"
 
 namespace cpm::sim {
 
@@ -111,8 +112,9 @@ class MemoryHierarchy {
 
   explicit MemoryHierarchy(const Config& config);
 
-  /// Latency in cycles of a load/store at core frequency `freq_ghz`.
-  double access_cycles(std::uint64_t address, bool is_write, double freq_ghz);
+  /// Latency in cycles of a load/store at core frequency `freq`.
+  double access_cycles(std::uint64_t address, bool is_write,
+                       units::GigaHertz freq);
 
   const SetAssocCache& l1() const noexcept { return l1_; }
   const SetAssocCache& l2() const noexcept { return l2_; }

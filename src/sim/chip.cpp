@@ -24,9 +24,8 @@ Chip::Chip(const CmpConfig& config, const workload::Mix& mix,
     for (const auto* profile : assignment) {
       // Distinct seed and phase offset per core so replicated benchmarks
       // (Mix-3) do not run in lockstep.
-      const double offset_ms = 1.7 * static_cast<double>(core_index);
-      cores.emplace_back(*profile, master(), config.contention_gamma,
-                         offset_ms);
+      const units::Milliseconds offset{1.7 * static_cast<double>(core_index)};
+      cores.emplace_back(*profile, master(), config.contention_gamma, offset);
       ++core_index;
     }
     islands_.emplace_back(

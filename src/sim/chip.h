@@ -48,8 +48,12 @@ class Chip {
   /// percentage of "maximum chip power": every core at the top DVFS level,
   /// full utilization, worst-case workload activity/capacitance.
   /// (Computed by the power model; stored here at wiring time.)
-  void set_max_power_w(double watts) noexcept { max_power_w_ = watts; }
-  double max_power_w() const noexcept { return max_power_w_; }
+  void set_max_power(units::Watts watts) noexcept {
+    max_power_w_ = watts.value();
+  }
+  units::Watts max_power() const noexcept {
+    return units::Watts{max_power_w_};
+  }
 
  private:
   CmpConfig config_;

@@ -72,6 +72,21 @@ struct CmpConfig {
   double tick_seconds() const noexcept {
     return pic_interval_s / static_cast<double>(ticks_per_pic_interval);
   }
+  /// Typed views of the controller cadence (the raw `_s` fields above stay
+  /// plain doubles -- they are bulk config data; see util/units.h).
+  units::Seconds gpm_interval() const noexcept {
+    return units::Seconds{gpm_interval_s};
+  }
+  units::Seconds pic_interval() const noexcept {
+    return units::Seconds{pic_interval_s};
+  }
+  units::Seconds tick_interval() const noexcept {
+    return units::Seconds{tick_seconds()};
+  }
+  /// Leakage design constant as its dimensional type (watts per volt).
+  units::WattsPerVolt leakage_design() const noexcept {
+    return units::WattsPerVolt{leakage_w_per_v};
+  }
   std::size_t pic_invocations_per_gpm() const noexcept {
     return static_cast<std::size_t>(gpm_interval_s / pic_interval_s + 0.5);
   }

@@ -6,8 +6,8 @@ namespace cpm::sim {
 
 CoreModel::CoreModel(const workload::BenchmarkProfile& profile,
                      std::uint64_t seed, double contention_gamma,
-                     double phase_offset_ms)
-    : workload_(profile, seed, phase_offset_ms),
+                     units::Milliseconds phase_offset)
+    : workload_(profile, seed, phase_offset),
       contention_gamma_(contention_gamma) {}
 
 CoreTick CoreModel::step(double dt_seconds, const DvfsPoint& op,

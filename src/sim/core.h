@@ -28,7 +28,8 @@ struct CoreTick {
 class CoreModel {
  public:
   CoreModel(const workload::BenchmarkProfile& profile, std::uint64_t seed,
-            double contention_gamma, double phase_offset_ms = 0.0);
+            double contention_gamma,
+            units::Milliseconds phase_offset = units::Milliseconds{0.0});
 
   /// Advances one tick of dt seconds at operating point `op`, under shared
   /// memory congestion `congestion` (previous-tick value) and an island-wide

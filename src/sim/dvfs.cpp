@@ -2,21 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace cpm::sim {
 
+namespace {
+
+// Table I's operating points as a constexpr array so the dimensional
+// invariants (frequencies strictly increasing, voltages positive and
+// non-decreasing -- P_dyn ~ V^2 f monotone in the level index) are rejected
+// at compile time rather than discovered by the invariant checker.
+constexpr DvfsPoint kPentiumM[] = {
+    {0.956, 0.6},
+    {0.988, 0.8},
+    {1.020, 1.0},
+    {1.052, 1.2},
+    {1.084, 1.4},
+    {1.116, 1.6},
+    {1.164, 1.8},
+    {1.260, 2.0},
+};
+static_assert(units::valid_dvfs_levels(kPentiumM),
+              "Table I DVFS points must be monotone in V and f");
+
+}  // namespace
+
 const DvfsTable& DvfsTable::pentium_m() {
-  static const DvfsTable table{{
-      {0.956, 0.6},
-      {0.988, 0.8},
-      {1.020, 1.0},
-      {1.052, 1.2},
-      {1.084, 1.4},
-      {1.116, 1.6},
-      {1.164, 1.8},
-      {1.260, 2.0},
-  }};
+  static const DvfsTable table{
+      {std::begin(kPentiumM), std::end(kPentiumM)}};
   return table;
 }
 
@@ -28,11 +42,11 @@ DvfsTable::DvfsTable(std::vector<DvfsPoint> points) : points_(std::move(points))
             });
 }
 
-std::size_t DvfsTable::nearest_level(double freq_ghz) const noexcept {
+std::size_t DvfsTable::nearest_level(units::GigaHertz freq) const noexcept {
   std::size_t best = 0;
-  double best_dist = std::abs(points_[0].freq_ghz - freq_ghz);
+  double best_dist = std::abs(points_[0].freq_ghz - freq.value());
   for (std::size_t i = 1; i < points_.size(); ++i) {
-    const double dist = std::abs(points_[i].freq_ghz - freq_ghz);
+    const double dist = std::abs(points_[i].freq_ghz - freq.value());
     if (dist < best_dist) {
       best = i;
       best_dist = dist;
@@ -41,10 +55,10 @@ std::size_t DvfsTable::nearest_level(double freq_ghz) const noexcept {
   return best;
 }
 
-std::size_t DvfsTable::floor_level(double freq_ghz) const noexcept {
+std::size_t DvfsTable::floor_level(units::GigaHertz freq) const noexcept {
   std::size_t level = 0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].freq_ghz <= freq_ghz) level = i;
+    if (points_[i].freq_ghz <= freq.value()) level = i;
   }
   return level;
 }
@@ -56,8 +70,8 @@ DvfsActuator::DvfsActuator(const DvfsTable& table, std::size_t initial_level,
       level_(std::min(initial_level, table.max_level())),
       transition_stall_s_(transition_overhead_fraction * controller_interval_s) {}
 
-bool DvfsActuator::request_frequency(double freq_ghz) {
-  return set_level(table_->nearest_level(freq_ghz));
+bool DvfsActuator::request_frequency(units::GigaHertz freq) {
+  return set_level(table_->nearest_level(freq));
 }
 
 bool DvfsActuator::set_level(std::size_t level) {

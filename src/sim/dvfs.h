@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "util/units.h"
+
 namespace cpm::sim {
 
 struct DvfsPoint {
@@ -36,13 +38,17 @@ class DvfsTable {
 
   std::size_t min_level() const noexcept { return 0; }
   std::size_t max_level() const noexcept { return points_.size() - 1; }
-  double min_freq() const noexcept { return points_.front().freq_ghz; }
-  double max_freq() const noexcept { return points_.back().freq_ghz; }
+  units::GigaHertz min_freq() const noexcept {
+    return units::GigaHertz{points_.front().freq_ghz};
+  }
+  units::GigaHertz max_freq() const noexcept {
+    return units::GigaHertz{points_.back().freq_ghz};
+  }
 
-  /// Level whose frequency is closest to `freq_ghz` (ties -> lower level).
-  std::size_t nearest_level(double freq_ghz) const noexcept;
-  /// Highest level with frequency <= freq_ghz; level 0 if none.
-  std::size_t floor_level(double freq_ghz) const noexcept;
+  /// Level whose frequency is closest to `freq` (ties -> lower level).
+  std::size_t nearest_level(units::GigaHertz freq) const noexcept;
+  /// Highest level with frequency <= freq; level 0 if none.
+  std::size_t floor_level(units::GigaHertz freq) const noexcept;
 
  private:
   std::vector<DvfsPoint> points_;  // sorted ascending by frequency
@@ -64,7 +70,7 @@ class DvfsActuator {
 
   /// Requests a (possibly fractional) frequency; quantizes to the nearest
   /// level. Returns true if the level changed (incurring the stall penalty).
-  bool request_frequency(double freq_ghz);
+  bool request_frequency(units::GigaHertz freq);
   /// Directly selects a level (used by MaxBIPS's table-driven policy).
   bool set_level(std::size_t level);
 

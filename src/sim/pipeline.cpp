@@ -10,7 +10,8 @@ PipelineCore::PipelineCore(const PipelineConfig& config,
     : config_(config), stream_(behavior, seed), memory_(config.memory) {}
 
 PipelineRunStats PipelineCore::run_cycles(std::uint64_t cycles,
-                                          double freq_ghz, double hostility) {
+                                          units::GigaHertz freq,
+                                          double hostility) {
   PipelineRunStats stats;
   const double end = now_ + static_cast<double>(cycles);
 
@@ -52,12 +53,12 @@ PipelineRunStats PipelineCore::run_cycles(std::uint64_t cycles,
             break;
           case workload::InstrKind::kLoad:
             latency = memory_.access_cycles(instr.address, /*is_write=*/false,
-                                            freq_ghz);
+                                            freq);
             break;
           case workload::InstrKind::kStore:
             // Stores retire through a write buffer; the cache access happens
             // off the critical path but still updates cache state.
-            memory_.access_cycles(instr.address, /*is_write=*/true, freq_ghz);
+            memory_.access_cycles(instr.address, /*is_write=*/true, freq);
             latency = config_.store_latency;
             break;
           case workload::InstrKind::kBranch:

@@ -54,10 +54,10 @@ class PipelineCore {
                const workload::MicroArchBehavior& behavior,
                std::uint64_t seed);
 
-  /// Simulates `cycles` core cycles at frequency `freq_ghz` (memory latency
-  /// is wall-clock, so its cycle cost scales with frequency). `hostility`
+  /// Simulates `cycles` core cycles at frequency `freq` (memory latency is
+  /// wall-clock, so its cycle cost scales with frequency). `hostility`
   /// scales the address stream toward cache-hostile behaviour.
-  PipelineRunStats run_cycles(std::uint64_t cycles, double freq_ghz,
+  PipelineRunStats run_cycles(std::uint64_t cycles, units::GigaHertz freq,
                               double hostility = 1.0);
 
   const MemoryHierarchy& memory() const noexcept { return memory_; }

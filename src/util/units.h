@@ -1,0 +1,371 @@
+// Compile-time dimensional safety for the CPM control stack.
+//
+// The two-tier manager moves watts, gigahertz, milliseconds, volts and BIPS
+// between the GPM, the PICs, the power sensors and the DVFS actuators. Every
+// unit-confusion bug the project has fixed dynamically (clamp ordering at the
+// wrong power scale, percent-vs-fraction mixups at the transducer boundary)
+// is a *dimension* error a type system can reject before the program runs.
+// This header provides zero-overhead strong types for those quantities:
+//
+//   * each unit wraps exactly one double (same size, alignment and codegen);
+//   * construction from a raw double is explicit -- the unit is stated at the
+//     boundary where a number enters the typed world;
+//   * arithmetic only compiles for dimensionally legal expressions
+//     (Watts + Watts, Watts * scalar, Watts / GigaHertz -> WattsPerGhz, ...);
+//     `Watts + GigaHertz` is a compile error, enforced by tests/static/;
+//   * same-unit division yields a raw double (a dimensionless ratio), which
+//     keeps percent-of-scale math honest;
+//   * everything is constexpr, so DVFS tables and controller designs can be
+//     validated with static_assert at namespace scope.
+//
+// Convention used across the tree: public API boundaries (function
+// parameters and returns) carry unit types; plain-old-data records and
+// config structs keep suffixed doubles (`freq_ghz`, `budget_w`) because they
+// are bulk data the numeric kernels iterate over. scripts/lint_units.py
+// enforces the boundary half of the convention.
+#pragma once
+
+#include <cstddef>
+
+namespace cpm::units {
+
+/// CRTP base: one double, explicit construction, closed arithmetic.
+/// Derived types are trivially copyable and layout-compatible with double.
+template <class Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() noexcept : v_(0.0) {}
+  explicit constexpr UnitBase(double raw) noexcept : v_(raw) {}
+
+  /// The raw magnitude in this unit's canonical scale. Crossing back to
+  /// untyped math is explicit, like construction.
+  constexpr double value() const noexcept { return v_; }
+
+  // Same-dimension arithmetic.
+  friend constexpr Derived operator+(Derived a, Derived b) noexcept {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) noexcept {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator-(Derived a) noexcept {
+    return Derived{-a.value()};
+  }
+  // Scalar scaling.
+  friend constexpr Derived operator*(Derived a, double s) noexcept {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) noexcept {
+    return Derived{s * a.value()};
+  }
+  friend constexpr Derived operator/(Derived a, double s) noexcept {
+    return Derived{a.value() / s};
+  }
+  /// Same-unit ratio: dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) noexcept {
+    return a.value() / b.value();
+  }
+
+  constexpr Derived& operator+=(Derived b) noexcept {
+    v_ += b.value();
+    return self();
+  }
+  constexpr Derived& operator-=(Derived b) noexcept {
+    v_ -= b.value();
+    return self();
+  }
+  constexpr Derived& operator*=(double s) noexcept {
+    v_ *= s;
+    return self();
+  }
+  constexpr Derived& operator/=(double s) noexcept {
+    v_ /= s;
+    return self();
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) noexcept {
+    return a.value() == b.value();
+  }
+  friend constexpr bool operator!=(Derived a, Derived b) noexcept {
+    return a.value() != b.value();
+  }
+  friend constexpr bool operator<(Derived a, Derived b) noexcept {
+    return a.value() < b.value();
+  }
+  friend constexpr bool operator<=(Derived a, Derived b) noexcept {
+    return a.value() <= b.value();
+  }
+  friend constexpr bool operator>(Derived a, Derived b) noexcept {
+    return a.value() > b.value();
+  }
+  friend constexpr bool operator>=(Derived a, Derived b) noexcept {
+    return a.value() >= b.value();
+  }
+
+ private:
+  constexpr Derived& self() noexcept { return static_cast<Derived&>(*this); }
+  double v_;
+};
+
+struct Watts : UnitBase<Watts> {
+  using UnitBase::UnitBase;
+};
+struct GigaHertz : UnitBase<GigaHertz> {
+  using UnitBase::UnitBase;
+};
+struct Volts : UnitBase<Volts> {
+  using UnitBase::UnitBase;
+};
+/// Billions of instructions per second (the paper's throughput unit).
+struct Bips : UnitBase<Bips> {
+  using UnitBase::UnitBase;
+};
+struct Joules : UnitBase<Joules> {
+  using UnitBase::UnitBase;
+};
+/// Plant gain of paper Eq. 8 in absolute form: watts of island power per
+/// GHz of frequency actuation.
+struct WattsPerGhz : UnitBase<WattsPerGhz> {
+  using UnitBase::UnitBase;
+};
+/// Plant gain in the paper's identified form (Fig. 5): percentage points of
+/// max chip power per GHz. The PID gains (0.4, 0.4, 0.3) are designed
+/// against this unit.
+struct PercentPerGhz : UnitBase<PercentPerGhz> {
+  using UnitBase::UnitBase;
+};
+/// Leakage design constant: watts per volt (HotLeakage's k_design).
+struct WattsPerVolt : UnitBase<WattsPerVolt> {
+  using UnitBase::UnitBase;
+};
+
+struct Milliseconds;
+
+struct Seconds : UnitBase<Seconds> {
+  using UnitBase::UnitBase;
+  constexpr Milliseconds to_milliseconds() const noexcept;
+};
+
+struct Milliseconds : UnitBase<Milliseconds> {
+  using UnitBase::UnitBase;
+  constexpr Seconds to_seconds() const noexcept { return Seconds{value() / 1e3}; }
+};
+
+constexpr Milliseconds Seconds::to_milliseconds() const noexcept {
+  return Milliseconds{value() * 1e3};
+}
+
+/// Percentage points (the paper expresses budgets and tracking errors in %
+/// of maximum chip power). Distinct from a raw fraction: 80.0_pct stores
+/// 80.0 and `fraction()` returns 0.8. The explicit names keep the classic
+/// percent-vs-fraction bug out of the transducer/controller boundary.
+struct Percent : UnitBase<Percent> {
+  using UnitBase::UnitBase;
+
+  constexpr double fraction() const noexcept { return value() / 100.0; }
+  static constexpr Percent from_fraction(double f) noexcept {
+    return Percent{f * 100.0};
+  }
+  /// `Percent{80}.of(Watts{250})` -> 200 W.
+  template <class Q>
+  constexpr Q of(Q scale) const noexcept {
+    return scale * fraction();
+  }
+  /// `Percent::ratio_of(part, whole)`: what fraction of `whole` is `part`,
+  /// as percentage points.
+  template <class Q>
+  static constexpr Percent ratio_of(Q part, Q whole) noexcept {
+    return from_fraction(part / whole);
+  }
+};
+
+// -- legal cross-dimension arithmetic ---------------------------------------
+// Only physically meaningful combinations are defined; anything else is a
+// compile error (see tests/static/ for the enforced negative cases).
+
+constexpr Joules operator*(Watts p, Seconds t) noexcept {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
+constexpr Joules operator*(Watts p, Milliseconds t) noexcept {
+  return p * t.to_seconds();
+}
+constexpr Joules operator*(Milliseconds t, Watts p) noexcept {
+  return p * t.to_seconds();
+}
+constexpr Watts operator/(Joules e, Seconds t) noexcept {
+  return Watts{e.value() / t.value()};
+}
+constexpr Seconds operator/(Joules e, Watts p) noexcept {
+  return Seconds{e.value() / p.value()};
+}
+
+constexpr WattsPerGhz operator/(Watts p, GigaHertz f) noexcept {
+  return WattsPerGhz{p.value() / f.value()};
+}
+constexpr Watts operator*(WattsPerGhz a, GigaHertz f) noexcept {
+  return Watts{a.value() * f.value()};
+}
+constexpr Watts operator*(GigaHertz f, WattsPerGhz a) noexcept { return a * f; }
+constexpr GigaHertz operator/(Watts p, WattsPerGhz a) noexcept {
+  return GigaHertz{p.value() / a.value()};
+}
+
+constexpr PercentPerGhz operator/(Percent p, GigaHertz f) noexcept {
+  return PercentPerGhz{p.value() / f.value()};
+}
+constexpr Percent operator*(PercentPerGhz a, GigaHertz f) noexcept {
+  return Percent{a.value() * f.value()};
+}
+constexpr Percent operator*(GigaHertz f, PercentPerGhz a) noexcept {
+  return a * f;
+}
+constexpr GigaHertz operator/(Percent p, PercentPerGhz a) noexcept {
+  return GigaHertz{p.value() / a.value()};
+}
+
+constexpr WattsPerVolt operator/(Watts p, Volts v) noexcept {
+  return WattsPerVolt{p.value() / v.value()};
+}
+constexpr Watts operator*(WattsPerVolt k, Volts v) noexcept {
+  return Watts{k.value() * v.value()};
+}
+constexpr Watts operator*(Volts v, WattsPerVolt k) noexcept { return k * v; }
+
+/// Convert a %-of-max-chip-power plant gain to its absolute form. The paper
+/// identifies a_i in % per GHz (Fig. 5); the power model works in watts.
+constexpr WattsPerGhz absolute_gain(PercentPerGhz gain,
+                                    Watts max_chip_power) noexcept {
+  return WattsPerGhz{gain.value() / 100.0 * max_chip_power.value()};
+}
+constexpr PercentPerGhz percent_gain(WattsPerGhz gain,
+                                     Watts max_chip_power) noexcept {
+  return PercentPerGhz{gain.value() * 100.0 / max_chip_power.value()};
+}
+
+// -- small constexpr helpers (std::abs/min/max are not constexpr-friendly
+//    across all toolchains for this use) -----------------------------------
+
+template <class Q>
+constexpr Q abs(Q q) noexcept {
+  return q.value() < 0.0 ? -q : q;
+}
+template <class Q>
+constexpr Q min(Q a, Q b) noexcept {
+  return b < a ? b : a;
+}
+template <class Q>
+constexpr Q max(Q a, Q b) noexcept {
+  return a < b ? b : a;
+}
+template <class Q>
+constexpr Q clamp(Q q, Q lo, Q hi) noexcept {
+  return q < lo ? lo : (hi < q ? hi : q);
+}
+
+// -- compile-time validation ------------------------------------------------
+
+/// Jury stability criterion for the CPM closed loop (paper Sec. II-D).
+/// Characteristic polynomial of plant a/(z-1) under the incremental PID
+/// (Eq. 7):  z(z-1)^2 + a[(Kp+Ki+Kd) z^2 - (Kp+2Kd) z + Kd]
+///         = z^3 + c2 z^2 + c1 z + c0.
+/// The cubic Jury conditions are evaluable at compile time, so a PIC
+/// configuration's pole placement can be checked with static_assert; the
+/// runtime root-finder in control/stability.h must agree (tested).
+constexpr bool cpm_loop_stable(double plant_gain, double kp, double ki,
+                               double kd) noexcept {
+  const double a = plant_gain;
+  const double c2 = a * (kp + ki + kd) - 2.0;
+  const double c1 = 1.0 - a * (kp + 2.0 * kd);
+  const double c0 = a * kd;
+  const double abs_c0 = c0 < 0.0 ? -c0 : c0;
+  const double p1 = 1.0 + c2 + c1 + c0;        // p(1) > 0
+  const double pm1 = -(-1.0 + c2 - c1 + c0);   // (-1)^3 p(-1) > 0
+  const double d = c0 * c2 - c1;
+  const double abs_d = d < 0.0 ? -d : d;
+  return abs_c0 < 1.0 && p1 > 0.0 && pm1 > 0.0 && (1.0 - c0 * c0) > abs_d;
+}
+
+/// Compile-time DVFS-table validation: frequencies strictly increasing,
+/// voltages positive and non-decreasing (P_dyn ~ V^2 f must be monotone in
+/// the level index -- MaxBIPS's DP and the GPM's demand ceilings assume it).
+/// Usable in static_assert over a constexpr array of V/f points.
+template <class Point, std::size_t N>
+constexpr bool valid_dvfs_levels(const Point (&pts)[N]) noexcept {
+  if (N == 0) return false;
+  for (std::size_t i = 0; i < N; ++i) {
+    if (!(pts[i].freq_ghz > 0.0) || !(pts[i].voltage > 0.0)) return false;
+    if (i > 0) {
+      if (!(pts[i].freq_ghz > pts[i - 1].freq_ghz)) return false;
+      if (pts[i].voltage < pts[i - 1].voltage) return false;
+    }
+  }
+  return true;
+}
+
+namespace literals {
+
+constexpr Watts operator""_W(long double v) noexcept {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(unsigned long long v) noexcept {
+  return Watts{static_cast<double>(v)};
+}
+constexpr GigaHertz operator""_GHz(long double v) noexcept {
+  return GigaHertz{static_cast<double>(v)};
+}
+constexpr GigaHertz operator""_GHz(unsigned long long v) noexcept {
+  return GigaHertz{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) noexcept {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) noexcept {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Milliseconds operator""_ms(long double v) noexcept {
+  return Milliseconds{static_cast<double>(v)};
+}
+constexpr Milliseconds operator""_ms(unsigned long long v) noexcept {
+  return Milliseconds{static_cast<double>(v)};
+}
+constexpr Volts operator""_V(long double v) noexcept {
+  return Volts{static_cast<double>(v)};
+}
+constexpr Volts operator""_V(unsigned long long v) noexcept {
+  return Volts{static_cast<double>(v)};
+}
+constexpr Percent operator""_pct(long double v) noexcept {
+  return Percent{static_cast<double>(v)};
+}
+constexpr Percent operator""_pct(unsigned long long v) noexcept {
+  return Percent{static_cast<double>(v)};
+}
+constexpr Joules operator""_J(long double v) noexcept {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Joules operator""_J(unsigned long long v) noexcept {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Bips operator""_bips(long double v) noexcept {
+  return Bips{static_cast<double>(v)};
+}
+constexpr Bips operator""_bips(unsigned long long v) noexcept {
+  return Bips{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+// The unit layer must be free: a Watts is a double in every ABI-relevant
+// respect, so passing one by value costs exactly what passing the raw
+// number did.
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(alignof(Watts) == alignof(double));
+// The paper's design point must be provably stable at compile time: gains
+// (0.4, 0.4, 0.3) for the nominal plant a0 = 0.79, and across the claimed
+// robustness range g in (0, 2.1) of plant-gain mismatch.
+static_assert(cpm_loop_stable(0.79, 0.4, 0.4, 0.3));
+static_assert(cpm_loop_stable(0.79 * 2.09, 0.4, 0.4, 0.3));
+static_assert(!cpm_loop_stable(0.79 * 2.2, 0.4, 0.4, 0.3));
+
+}  // namespace cpm::units

@@ -6,12 +6,14 @@
 namespace cpm::workload {
 
 WorkloadInstance::WorkloadInstance(const BenchmarkProfile& profile,
-                                   std::uint64_t seed, double phase_offset_ms)
+                                   std::uint64_t seed,
+                                   units::Milliseconds phase_offset)
     : profile_(&profile), rng_(seed) {
-  advance_clock(std::max(0.0, phase_offset_ms));
+  advance_clock(units::max(units::Milliseconds{0.0}, phase_offset));
 }
 
-void WorkloadInstance::advance_clock(double dt_ms) noexcept {
+void WorkloadInstance::advance_clock(units::Milliseconds dt) noexcept {
+  const double dt_ms = dt.value();
   const auto& phases = profile_->phases;
   if (phases.empty()) return;
   const double scale = profile_->phase_time_scale;
@@ -51,7 +53,7 @@ Demand WorkloadInstance::peek() const noexcept {
 }
 
 Demand WorkloadInstance::step(double dt_seconds) {
-  advance_clock(dt_seconds * 1e3);
+  advance_clock(units::Seconds{dt_seconds}.to_milliseconds());
   Demand d = peek();
   // Multiplicative log-normal-ish noise, clamped so pathological draws cannot
   // produce non-physical demand.

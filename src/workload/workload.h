@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "util/rng.h"
+#include "util/units.h"
 #include "workload/profile.h"
 
 namespace cpm::workload {
@@ -20,10 +21,10 @@ struct Demand {
 
 class WorkloadInstance {
  public:
-  /// `phase_offset_ms` desynchronizes identical profiles on different cores
+  /// `phase_offset` desynchronizes identical profiles on different cores
   /// (the paper schedules the same benchmark on several islands in Mix-3).
   WorkloadInstance(const BenchmarkProfile& profile, std::uint64_t seed,
-                   double phase_offset_ms = 0.0);
+                   units::Milliseconds phase_offset = units::Milliseconds{0.0});
 
   /// Advances the phase clock by dt seconds and samples the demand.
   Demand step(double dt_seconds);
@@ -35,7 +36,7 @@ class WorkloadInstance {
   std::size_t phase_index() const noexcept { return phase_index_; }
 
  private:
-  void advance_clock(double dt_ms) noexcept;
+  void advance_clock(units::Milliseconds dt) noexcept;
 
   const BenchmarkProfile* profile_;
   util::Xoshiro256pp rng_;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "control/stability.h"
+#include "util/units.h"
 
 namespace cpm::control {
 namespace {
@@ -26,7 +27,7 @@ TEST(Jury, MatchesRootFinderOnCpmLoop) {
   // Cross-validate the algebraic test against the Durand-Kerner analysis on
   // the paper's loop over a gain sweep.
   for (double a = 0.1; a < 3.0; a += 0.1) {
-    const auto cl = cpm_closed_loop(a, PidGains{});
+    const auto cl = cpm_closed_loop(units::PercentPerGhz{a}, PidGains{});
     const bool by_roots = analyze_stability(cl).stable;
     const bool by_jury = jury_stable(cl.denominator());
     EXPECT_EQ(by_roots, by_jury) << "a = " << a;
@@ -82,7 +83,7 @@ TEST(Margins, CpmLoopGainMarginMatchesGMax) {
                      .series(TransferFunction::integrator_plant(0.79));
   const StabilityMargins m = stability_margins(l, 20000);
   ASSERT_TRUE(m.gain_margin.has_value());
-  EXPECT_NEAR(*m.gain_margin, stable_gain_upper_bound(0.79, PidGains{}), 0.05);
+  EXPECT_NEAR(*m.gain_margin, stable_gain_upper_bound(units::PercentPerGhz{0.79}, PidGains{}), 0.05);
 }
 
 TEST(Margins, StableLoopHasPositivePhaseMargin) {

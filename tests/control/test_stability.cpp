@@ -5,6 +5,7 @@
 //  * the gain-robustness range is 0 < g < ~2.1 (paper: "0 < g < 2.1", with
 //    Eq. 13's prefactor 1.85 = 0.869 * 2.13).
 #include "control/stability.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -14,45 +15,45 @@ namespace cpm::control {
 namespace {
 
 TEST(Stability, PaperNominalLoopIsStable) {
-  const StabilityReport rep = analyze_cpm_loop(0.79, PidGains{});
+  const StabilityReport rep = analyze_cpm_loop(units::PercentPerGhz{0.79}, PidGains{});
   EXPECT_TRUE(rep.stable);
   EXPECT_LT(rep.spectral_radius, 0.9);
   EXPECT_EQ(rep.poles.size(), 3u);  // z(z-1)^2 + a(...) is cubic
 }
 
 TEST(Stability, MisreadGainWouldBeUnstable) {
-  const StabilityReport rep = analyze_cpm_loop(2.79, PidGains{});
+  const StabilityReport rep = analyze_cpm_loop(units::PercentPerGhz{2.79}, PidGains{});
   EXPECT_FALSE(rep.stable);
   EXPECT_GT(rep.spectral_radius, 1.0);
 }
 
 TEST(Stability, ClosedLoopNumeratorGainMatchesEq12) {
   // The paper's Eq. 12 prefactor is 0.869 = a (Kp+Ki+Kd) = 0.79 * 1.1.
-  const auto cl = cpm_closed_loop(0.79, PidGains{});
+  const auto cl = cpm_closed_loop(units::PercentPerGhz{0.79}, PidGains{});
   EXPECT_NEAR(cl.numerator().leading_coeff(), 0.869, 1e-9);
 }
 
 TEST(Stability, GainUpperBoundMatchesPaper) {
-  const double g_max = stable_gain_upper_bound(0.79, PidGains{});
+  const double g_max = stable_gain_upper_bound(units::PercentPerGhz{0.79}, PidGains{});
   EXPECT_NEAR(g_max, 2.11, 0.05);  // paper: system stable for 0 < g < 2.1
   // Eq. 13's prefactor: a*g*(Kp+Ki+Kd) ~= 1.85 at the stability edge.
   EXPECT_NEAR(0.79 * g_max * 1.1, 1.85, 0.05);
 }
 
 TEST(Stability, StableJustBelowBoundUnstableJustAbove) {
-  const double g_max = stable_gain_upper_bound(0.79, PidGains{});
-  EXPECT_TRUE(analyze_cpm_loop(0.79 * (g_max - 0.02), PidGains{}).stable);
-  EXPECT_FALSE(analyze_cpm_loop(0.79 * (g_max + 0.02), PidGains{}).stable);
+  const double g_max = stable_gain_upper_bound(units::PercentPerGhz{0.79}, PidGains{});
+  EXPECT_TRUE(analyze_cpm_loop(units::PercentPerGhz{0.79 * (g_max - 0.02)}, PidGains{}).stable);
+  EXPECT_FALSE(analyze_cpm_loop(units::PercentPerGhz{0.79 * (g_max + 0.02)}, PidGains{}).stable);
 }
 
 TEST(Stability, TinyGainIsStable) {
-  EXPECT_TRUE(analyze_cpm_loop(0.01, PidGains{}).stable);
+  EXPECT_TRUE(analyze_cpm_loop(units::PercentPerGhz{0.01}, PidGains{}).stable);
 }
 
 TEST(Stability, SpectralRadiusMonotoneNearEdge) {
-  const double r1 = analyze_cpm_loop(1.2, PidGains{}).spectral_radius;
-  const double r2 = analyze_cpm_loop(1.5, PidGains{}).spectral_radius;
-  const double r3 = analyze_cpm_loop(1.66, PidGains{}).spectral_radius;
+  const double r1 = analyze_cpm_loop(units::PercentPerGhz{1.2}, PidGains{}).spectral_radius;
+  const double r2 = analyze_cpm_loop(units::PercentPerGhz{1.5}, PidGains{}).spectral_radius;
+  const double r3 = analyze_cpm_loop(units::PercentPerGhz{1.66}, PidGains{}).spectral_radius;
   EXPECT_LT(r1, r2);
   EXPECT_LT(r2, r3);
 }
@@ -60,9 +61,9 @@ TEST(Stability, SpectralRadiusMonotoneNearEdge) {
 TEST(Stability, ProportionalOnlyControllerRange) {
   // P-only: characteristic z-1+a*Kp -> pole at 1-a*Kp; stable for a*Kp<2.
   PidGains p_only{0.4, 0.0, 0.0};
-  EXPECT_TRUE(analyze_cpm_loop(1.0, p_only).stable);
-  EXPECT_FALSE(analyze_cpm_loop(5.1, p_only).stable);  // a*Kp = 2.04
-  const auto rep = analyze_cpm_loop(2.0, p_only);
+  EXPECT_TRUE(analyze_cpm_loop(units::PercentPerGhz{1.0}, p_only).stable);
+  EXPECT_FALSE(analyze_cpm_loop(units::PercentPerGhz{5.1}, p_only).stable);  // a*Kp = 2.04
+  const auto rep = analyze_cpm_loop(units::PercentPerGhz{2.0}, p_only);
   // pole at 1 - 0.8 = 0.2 plus controller-denominator cancellations.
   double min_dist = 1e9;
   for (const auto& pole : rep.poles) {
@@ -75,11 +76,11 @@ TEST(Stability, UnstableEverywhereReportsZero) {
   // Negative integral gain pushes a pole outside the unit circle for every
   // positive loop gain (the double root at z=1 splits along the real axis).
   PidGains bad{0.4, -0.4, 0.3};
-  EXPECT_EQ(stable_gain_upper_bound(1.0, bad), 0.0);
+  EXPECT_EQ(stable_gain_upper_bound(units::PercentPerGhz{1.0}, bad), 0.0);
 }
 
 TEST(Stability, ReportPolesMatchSpectralRadius) {
-  const StabilityReport rep = analyze_cpm_loop(0.79, PidGains{});
+  const StabilityReport rep = analyze_cpm_loop(units::PercentPerGhz{0.79}, PidGains{});
   double max_mag = 0.0;
   for (const auto& p : rep.poles) max_mag = std::max(max_mag, std::abs(p));
   EXPECT_DOUBLE_EQ(max_mag, rep.spectral_radius);

@@ -4,6 +4,7 @@
 
 #include "control/roots.h"
 #include "control/stability.h"
+#include "util/units.h"
 
 namespace cpm::control {
 namespace {
@@ -46,7 +47,7 @@ TEST(StateSpace, DirectFeedthrough) {
 }
 
 TEST(StateSpace, CpmClosedLoopStepMatchesTf) {
-  const TransferFunction cl = cpm_closed_loop(0.79, PidGains{});
+  const TransferFunction cl = cpm_closed_loop(units::PercentPerGhz{0.79}, PidGains{});
   const StateSpace ss = StateSpace::from_transfer_function(cl);
   EXPECT_EQ(ss.order(), cl.denominator().degree());
   const std::vector<double> step_in(40, 1.0);
@@ -58,7 +59,7 @@ TEST(StateSpace, CpmClosedLoopStepMatchesTf) {
 }
 
 TEST(StateSpace, CharacteristicPolynomialMatchesDenominator) {
-  const TransferFunction cl = cpm_closed_loop(0.79, PidGains{});
+  const TransferFunction cl = cpm_closed_loop(units::PercentPerGhz{0.79}, PidGains{});
   const StateSpace ss = StateSpace::from_transfer_function(cl);
   // Same roots as the (monic-normalized) denominator.
   const auto ss_poles = find_roots(ss.characteristic_polynomial());

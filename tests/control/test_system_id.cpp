@@ -16,9 +16,30 @@ TEST(SystemId, ExactGainRecovery) {
     dp.push_back(0.79 * d);
   }
   const GainEstimate est = estimate_plant_gain(df, dp);
-  EXPECT_NEAR(est.gain, 0.79, 1e-12);
+  EXPECT_NEAR(est.gain.value(), 0.79, 1e-12);
   EXPECT_NEAR(est.r_squared, 1.0, 1e-12);
   EXPECT_EQ(est.samples, 5u);
+}
+
+TEST(SystemId, GainContractIsPercentOfMaxChipPower) {
+  // The estimator's contract is dP in percentage points of max chip power
+  // (paper Fig. 5), returned as units::PercentPerGhz. Feeding absolute watt
+  // deltas instead yields a numerically different gain that only matches
+  // after units::absolute_gain — locking the conversion a caller must apply
+  // at the boundary.
+  const units::Watts p_max{70.0};
+  std::vector<double> df, dp_pct, dp_w;
+  for (const double d : {0.1, -0.2, 0.3, -0.1}) {
+    df.push_back(d);
+    dp_pct.push_back(0.79 * d);                          // %-points
+    dp_w.push_back(0.79 / 100.0 * p_max.value() * d);    // watts
+  }
+  const GainEstimate pct = estimate_plant_gain(df, dp_pct);
+  const GainEstimate abs = estimate_plant_gain(df, dp_w);
+  EXPECT_NEAR(pct.gain.value(), 0.79, 1e-12);
+  EXPECT_NEAR(units::absolute_gain(pct.gain, p_max).value(),
+              abs.gain.value(), 1e-12);
+  EXPECT_NEAR(abs.gain.value(), 0.553, 1e-12);  // the two differ by p_max/100
 }
 
 TEST(SystemId, NoisyGainRecovery) {
@@ -30,61 +51,61 @@ TEST(SystemId, NoisyGainRecovery) {
     dp.push_back(2.5 * d + rng.normal(0.0, 0.1));
   }
   const GainEstimate est = estimate_plant_gain(df, dp);
-  EXPECT_NEAR(est.gain, 2.5, 0.05);
+  EXPECT_NEAR(est.gain.value(), 2.5, 0.05);
   EXPECT_GT(est.r_squared, 0.9);
 }
 
 TEST(SystemId, ZeroExcitationYieldsZero) {
   std::vector<double> df(10, 0.0), dp(10, 1.0);
   const GainEstimate est = estimate_plant_gain(df, dp);
-  EXPECT_EQ(est.gain, 0.0);
+  EXPECT_EQ(est.gain.value(), 0.0);
 }
 
 TEST(SystemId, EmptyInput) {
   const GainEstimate est = estimate_plant_gain({}, {});
-  EXPECT_EQ(est.gain, 0.0);
+  EXPECT_EQ(est.gain.value(), 0.0);
   EXPECT_EQ(est.samples, 0u);
 }
 
 TEST(Rls, ConvergesToTrueGain) {
-  RecursiveGainEstimator rls(0.0, 1.0);
+  RecursiveGainEstimator rls(units::PercentPerGhz{0.0}, 1.0);
   util::Xoshiro256pp rng(5);
   for (int i = 0; i < 500; ++i) {
     const double d = rng.uniform(-1.0, 1.0);
     rls.update(d, 1.7 * d + rng.normal(0.0, 0.05));
   }
-  EXPECT_NEAR(rls.gain(), 1.7, 0.05);
+  EXPECT_NEAR(rls.gain().value(), 1.7, 0.05);
   EXPECT_EQ(rls.samples(), 500u);
 }
 
 TEST(Rls, TracksDriftWithForgetting) {
-  RecursiveGainEstimator rls(0.0, 0.9);
+  RecursiveGainEstimator rls(units::PercentPerGhz{0.0}, 0.9);
   util::Xoshiro256pp rng(6);
   for (int i = 0; i < 300; ++i) {
     const double d = rng.uniform(-1.0, 1.0);
     rls.update(d, 1.0 * d);
   }
-  EXPECT_NEAR(rls.gain(), 1.0, 0.05);
+  EXPECT_NEAR(rls.gain().value(), 1.0, 0.05);
   // Gain doubles; the estimator must follow.
   for (int i = 0; i < 300; ++i) {
     const double d = rng.uniform(-1.0, 1.0);
     rls.update(d, 2.0 * d);
   }
-  EXPECT_NEAR(rls.gain(), 2.0, 0.1);
+  EXPECT_NEAR(rls.gain().value(), 2.0, 0.1);
 }
 
 TEST(Rls, IgnoresZeroExcitation) {
-  RecursiveGainEstimator rls(0.5);
+  RecursiveGainEstimator rls(units::PercentPerGhz{0.5});
   rls.update(0.0, 123.0);
-  EXPECT_DOUBLE_EQ(rls.gain(), 0.5);
+  EXPECT_DOUBLE_EQ(rls.gain().value(), 0.5);
 }
 
 TEST(Rls, ResetRestoresPrior) {
-  RecursiveGainEstimator rls(0.0);
+  RecursiveGainEstimator rls(units::PercentPerGhz{0.0});
   rls.update(1.0, 3.0);
-  EXPECT_GT(rls.gain(), 1.0);
-  rls.reset(0.25);
-  EXPECT_DOUBLE_EQ(rls.gain(), 0.25);
+  EXPECT_GT(rls.gain().value(), 1.0);
+  rls.reset(units::PercentPerGhz{0.25});
+  EXPECT_DOUBLE_EQ(rls.gain().value(), 0.25);
   EXPECT_EQ(rls.samples(), 0u);
 }
 

@@ -1,4 +1,5 @@
 #include "control/tuning.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -7,11 +8,11 @@ namespace {
 
 TEST(Tuning, EvaluateRejectsUnstableDesign) {
   // a = 2.79 with the paper's gains is unstable.
-  EXPECT_FALSE(evaluate_design(2.79, PidGains{}).has_value());
+  EXPECT_FALSE(evaluate_design(units::PercentPerGhz{2.79}, PidGains{}).has_value());
 }
 
 TEST(Tuning, EvaluatePaperDesign) {
-  const auto design = evaluate_design(0.79, PidGains{});
+  const auto design = evaluate_design(units::PercentPerGhz{0.79}, PidGains{});
   ASSERT_TRUE(design.has_value());
   EXPECT_GT(design->itae, 0.0);
   EXPECT_NEAR(design->gain_margin, 2.11, 0.05);
@@ -21,7 +22,7 @@ TEST(Tuning, EvaluatePaperDesign) {
 
 TEST(Tuning, DesignMeetsSpecForPaperPlant) {
   DesignSpec spec;
-  const auto design = design_pid(0.79, spec);
+  const auto design = design_pid(units::PercentPerGhz{0.79}, spec);
   ASSERT_TRUE(design.has_value());
   EXPECT_LE(design->metrics.max_overshoot, spec.max_overshoot);
   EXPECT_LE(design->metrics.settling_time, spec.max_settling_time);
@@ -32,8 +33,8 @@ TEST(Tuning, DesignMeetsSpecForPaperPlant) {
 TEST(Tuning, AutoDesignBeatsPaperGainsOnItae) {
   // The automated search optimizes ITAE; it must not be worse than the
   // paper's hand-placed design on its own criterion.
-  const auto paper = evaluate_design(0.79, PidGains{});
-  const auto tuned = design_pid(0.79);
+  const auto paper = evaluate_design(units::PercentPerGhz{0.79}, PidGains{});
+  const auto tuned = design_pid(units::PercentPerGhz{0.79});
   ASSERT_TRUE(paper.has_value());
   ASSERT_TRUE(tuned.has_value());
   EXPECT_LE(tuned->itae, paper->itae);
@@ -41,10 +42,10 @@ TEST(Tuning, AutoDesignBeatsPaperGainsOnItae) {
 
 TEST(Tuning, WorksAcrossPlantGains) {
   for (const double a : {0.3, 0.79, 1.2}) {
-    const auto design = design_pid(a);
+    const auto design = design_pid(units::PercentPerGhz{a});
     ASSERT_TRUE(design.has_value()) << "a = " << a;
     // Verify the design on the loop it was made for.
-    const auto check = evaluate_design(a, design->gains);
+    const auto check = evaluate_design(units::PercentPerGhz{a}, design->gains);
     ASSERT_TRUE(check.has_value());
     EXPECT_TRUE(check->metrics.settled);
   }
@@ -56,7 +57,7 @@ TEST(Tuning, ImpossibleSpecReturnsNothing) {
   impossible.max_settling_time = 1;
   impossible.max_steady_state_error = 1e-9;
   impossible.min_gain_margin = 10.0;
-  EXPECT_FALSE(design_pid(0.79, impossible).has_value());
+  EXPECT_FALSE(design_pid(units::PercentPerGhz{0.79}, impossible).has_value());
 }
 
 TEST(Tuning, TighterOvershootSpecYieldsTamerDesign) {
@@ -64,8 +65,8 @@ TEST(Tuning, TighterOvershootSpecYieldsTamerDesign) {
   loose.max_overshoot = 0.45;
   DesignSpec tight;
   tight.max_overshoot = 0.10;
-  const auto loose_design = design_pid(0.79, loose);
-  const auto tight_design = design_pid(0.79, tight);
+  const auto loose_design = design_pid(units::PercentPerGhz{0.79}, loose);
+  const auto tight_design = design_pid(units::PercentPerGhz{0.79}, tight);
   ASSERT_TRUE(loose_design.has_value());
   ASSERT_TRUE(tight_design.has_value());
   EXPECT_LE(tight_design->metrics.max_overshoot, 0.10);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/experiment.h"
+#include "util/units.h"
 
 namespace cpm::core {
 namespace {
@@ -23,7 +24,7 @@ std::vector<IslandObservation> obs_with_bips(double per_island_bips) {
 TEST(EnergyPolicy, LatchesReferenceFromFirstInterval) {
   EnergyAwarePolicy policy;
   const std::vector<double> prev(4, 10.0);
-  policy.provision(40.0, obs_with_bips(1.0), prev);
+  policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);
   EXPECT_DOUBLE_EQ(policy.reference_bips(), 4.0);
 }
 
@@ -35,7 +36,7 @@ TEST(EnergyPolicy, TrimsPowerWhileGuaranteeHolds) {
   std::vector<double> prev(4, 10.0);
   for (int i = 0; i < 10; ++i) {
     // Throughput comfortably above the guarantee.
-    prev = policy.provision(40.0, obs_with_bips(1.0), prev);
+    prev = policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);
   }
   EXPECT_LT(policy.total_fraction(), 0.7);
   EXPECT_LT(std::accumulate(prev.begin(), prev.end(), 0.0), 40.0 * 0.7 + 1e-9);
@@ -48,11 +49,11 @@ TEST(EnergyPolicy, RestoresPowerWhenGuaranteeViolated) {
   EnergyAwarePolicy policy(cfg);
   std::vector<double> prev(4, 10.0);
   for (int i = 0; i < 10; ++i) {
-    prev = policy.provision(40.0, obs_with_bips(1.0), prev);  // trims
+    prev = policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);  // trims
   }
   const double trimmed = policy.total_fraction();
   for (int i = 0; i < 10; ++i) {
-    prev = policy.provision(40.0, obs_with_bips(0.8), prev);  // 80 % < 95 %
+    prev = policy.provision(units::Watts{40.0}, obs_with_bips(0.8), prev);  // 80 % < 95 %
   }
   EXPECT_GT(policy.total_fraction(), trimmed);
 }
@@ -64,11 +65,11 @@ TEST(EnergyPolicy, TotalFractionBounded) {
   EnergyAwarePolicy policy(cfg);
   std::vector<double> prev(4, 10.0);
   for (int i = 0; i < 100; ++i) {
-    prev = policy.provision(40.0, obs_with_bips(1.0), prev);
+    prev = policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);
   }
   EXPECT_GE(policy.total_fraction(), 0.3 - 1e-9);
   for (int i = 0; i < 100; ++i) {
-    prev = policy.provision(40.0, obs_with_bips(0.01), prev);
+    prev = policy.provision(units::Watts{40.0}, obs_with_bips(0.01), prev);
   }
   EXPECT_LE(policy.total_fraction(), 1.0 + 1e-9);
 }
@@ -76,8 +77,8 @@ TEST(EnergyPolicy, TotalFractionBounded) {
 TEST(EnergyPolicy, ResetRestoresState) {
   EnergyAwarePolicy policy;
   std::vector<double> prev(4, 10.0);
-  policy.provision(40.0, obs_with_bips(1.0), prev);
-  policy.provision(40.0, obs_with_bips(1.0), prev);
+  policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);
+  policy.provision(units::Watts{40.0}, obs_with_bips(1.0), prev);
   policy.reset();
   EXPECT_DOUBLE_EQ(policy.total_fraction(), 1.0);
   EXPECT_DOUBLE_EQ(policy.reference_bips(), 0.0);

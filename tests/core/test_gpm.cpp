@@ -1,4 +1,5 @@
 #include "core/gpm.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -12,7 +13,7 @@ namespace {
 class FixedPolicy final : public ProvisioningPolicy {
  public:
   explicit FixedPolicy(std::vector<double> alloc) : alloc_(std::move(alloc)) {}
-  std::vector<double> provision(double, std::span<const IslandObservation>,
+  std::vector<double> provision(units::Watts, std::span<const IslandObservation>,
                                 std::span<const double>) override {
     return alloc_;
   }
@@ -32,29 +33,27 @@ std::vector<IslandObservation> obs(std::size_t n) {
 }
 
 TEST(Gpm, RejectsBadConstruction) {
-  EXPECT_THROW(Gpm(nullptr, 10.0, 4), std::invalid_argument);
-  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), 0.0, 4),
+  EXPECT_THROW(Gpm(nullptr, units::Watts{10.0}, 4), std::invalid_argument);
+  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), units::Watts{0.0}, 4),
                std::invalid_argument);
-  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), 10.0, 0),
+  EXPECT_THROW(Gpm(std::make_unique<FixedPolicy>(std::vector<double>{}), units::Watts{10.0}, 0),
                std::invalid_argument);
 }
 
 TEST(Gpm, InitialAllocationIsEqualSplit) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), 40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), units::Watts{40.0}, 4);
   for (const double a : gpm.current_allocation()) EXPECT_DOUBLE_EQ(a, 10.0);
 }
 
 TEST(Gpm, PassesThroughInBudgetAllocation) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{5, 10, 15, 8}),
-          40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{5, 10, 15, 8}), units::Watts{40.0}, 4);
   const auto alloc = gpm.invoke(obs(4));
   EXPECT_DOUBLE_EQ(alloc[0], 5.0);
   EXPECT_DOUBLE_EQ(alloc[3], 8.0);
 }
 
 TEST(Gpm, RescalesOversubscribedPolicy) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{40, 40, 40, 40}),
-          40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{40, 40, 40, 40}), units::Watts{40.0}, 4);
   const auto alloc = gpm.invoke(obs(4));
   const double total = std::accumulate(alloc.begin(), alloc.end(), 0.0);
   EXPECT_NEAR(total, 40.0, 1e-9);
@@ -62,27 +61,26 @@ TEST(Gpm, RescalesOversubscribedPolicy) {
 }
 
 TEST(Gpm, ClampsNegativeAllocations) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{-5, 10, 10, 10}),
-          40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{-5, 10, 10, 10}), units::Watts{40.0}, 4);
   const auto alloc = gpm.invoke(obs(4));
   EXPECT_DOUBLE_EQ(alloc[0], 0.0);
 }
 
 TEST(Gpm, RejectsWrongObservationCount) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), 40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 1.0)), units::Watts{40.0}, 4);
   EXPECT_THROW(gpm.invoke(obs(3)), std::invalid_argument);
 }
 
 TEST(Gpm, RejectsWrongPolicySize) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(3, 1.0)), 40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(3, 1.0)), units::Watts{40.0}, 4);
   EXPECT_THROW(gpm.invoke(obs(4)), std::logic_error);
 }
 
 TEST(Gpm, BudgetUpdate) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 5.0)), 40.0, 4);
-  gpm.set_budget_w(20.0);
-  EXPECT_DOUBLE_EQ(gpm.budget_w(), 20.0);
-  EXPECT_THROW(gpm.set_budget_w(-1.0), std::invalid_argument);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 5.0)), units::Watts{40.0}, 4);
+  gpm.set_budget(units::Watts{20.0});
+  EXPECT_DOUBLE_EQ(gpm.budget().value(), 20.0);
+  EXPECT_THROW(gpm.set_budget(units::Watts{-1.0}), std::invalid_argument);
 }
 
 TEST(Gpm, BudgetChangeRescalesCurrentAllocation) {
@@ -90,9 +88,9 @@ TEST(Gpm, BudgetChangeRescalesCurrentAllocation) {
   // budget's scale, so between the change and the next invoke() the
   // outstanding per-island setpoints could sum to more than the new budget
   // (and the next policy invocation saw a stale previous_alloc_w).
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 40.0)), 80.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>(4, 40.0)), units::Watts{80.0}, 4);
   gpm.invoke(obs(4));  // oversubscribed policy -> rescaled to 20 W each
-  gpm.set_budget_w(40.0);
+  gpm.set_budget(units::Watts{40.0});
   double total = 0.0;
   for (const double a : gpm.current_allocation()) total += a;
   EXPECT_NEAR(total, 40.0, 1e-9);
@@ -100,8 +98,7 @@ TEST(Gpm, BudgetChangeRescalesCurrentAllocation) {
 }
 
 TEST(Gpm, ResetRestoresEqualSplit) {
-  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{1, 2, 3, 34}),
-          40.0, 4);
+  Gpm gpm(std::make_unique<FixedPolicy>(std::vector<double>{1, 2, 3, 34}), units::Watts{40.0}, 4);
   gpm.invoke(obs(4));
   gpm.reset();
   for (const double a : gpm.current_allocation()) EXPECT_DOUBLE_EQ(a, 10.0);

@@ -6,6 +6,7 @@
 
 #include "core/experiment.h"
 #include "core/record_sink.h"
+#include "util/units.h"
 
 namespace cpm::core {
 namespace {
@@ -30,7 +31,7 @@ PicIntervalRecord valid_pic(std::size_t island) {
   r.utilization = 0.5;
   r.bips = 1.0;
   r.dvfs_level = table.max_level();
-  r.freq_ghz = table.max_freq();
+  r.freq_ghz = table.max_freq().value();
   return r;
 }
 
@@ -115,7 +116,7 @@ TEST(InvariantChecker, FlagsOversizedFrequencyStep) {
   InvariantChecker checker(two_island_config());
   checker.check_pic(valid_pic(0));  // at 2.0 GHz
   PicIntervalRecord r = valid_pic(0);
-  r.freq_ghz = table.min_freq();  // 0.6 GHz: a 1.4 GHz jump
+  r.freq_ghz = table.min_freq().value();  // 0.6 GHz: a 1.4 GHz jump
   r.dvfs_level = table.min_level();
   checker.check_pic(r);
   ASSERT_EQ(checker.violations().size(), 1u);

@@ -1,4 +1,5 @@
 #include "core/maxbips.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -18,10 +19,10 @@ IslandObservation obs(double bips, double power, std::size_t level) {
 }
 
 TEST(MaxBips, RejectsBadConstruction) {
-  EXPECT_THROW(MaxBipsManager(config(), 0.0), std::invalid_argument);
+  EXPECT_THROW(MaxBipsManager(config(), units::Watts{0.0}), std::invalid_argument);
   MaxBipsConfig few = config();
   few.power_bins = 2;
-  EXPECT_THROW(MaxBipsManager(few, 10.0), std::invalid_argument);
+  EXPECT_THROW(MaxBipsManager(few, units::Watts{10.0}), std::invalid_argument);
 }
 
 TEST(MaxBips, PredictionScalesLinearlyInFrequency) {
@@ -37,20 +38,20 @@ TEST(MaxBips, PredictionScalesPowerWithFV2) {
   const IslandObservation o = obs(2.0, 10.0, 7);
   const double top_fv2 = 2.0 * 1.26 * 1.26;
   const double low_fv2 = 0.6 * 0.956 * 0.956;
-  EXPECT_NEAR(MaxBipsManager::predict_power_w(o, t, 0),
+  EXPECT_NEAR(MaxBipsManager::predict_power(o, t, 0).value(),
               10.0 * low_fv2 / top_fv2, 1e-12);
-  EXPECT_NEAR(MaxBipsManager::predict_power_w(o, t, 7), 10.0, 1e-12);
+  EXPECT_NEAR(MaxBipsManager::predict_power(o, t, 7).value(), 10.0, 1e-12);
 }
 
 TEST(MaxBips, GenerousBudgetPicksTopLevelEverywhere) {
-  MaxBipsManager mgr(config(), 1000.0);
+  MaxBipsManager mgr(config(), units::Watts{1000.0});
   std::vector<IslandObservation> islands(4, obs(1.0, 10.0, 7));
   const auto levels = mgr.choose_levels(islands);
   for (const std::size_t l : levels) EXPECT_EQ(l, 7u);
 }
 
 TEST(MaxBips, TinyBudgetPicksBottomLevels) {
-  MaxBipsManager mgr(config(), 1.0);
+  MaxBipsManager mgr(config(), units::Watts{1.0});
   std::vector<IslandObservation> islands(4, obs(1.0, 10.0, 7));
   const auto levels = mgr.choose_levels(islands);
   for (const std::size_t l : levels) EXPECT_EQ(l, 0u);
@@ -61,7 +62,7 @@ double total_predicted_power(const std::vector<IslandObservation>& islands,
   const sim::DvfsTable& t = sim::DvfsTable::pentium_m();
   double total = 0.0;
   for (std::size_t i = 0; i < islands.size(); ++i) {
-    total += MaxBipsManager::predict_power_w(islands[i], t, levels[i]);
+    total += MaxBipsManager::predict_power(islands[i], t, levels[i]).value();
   }
   return total;
 }
@@ -78,7 +79,7 @@ double total_predicted_bips(const std::vector<IslandObservation>& islands,
 
 TEST(MaxBips, NeverExceedsBudget) {
   for (const double budget : {15.0, 25.0, 32.0, 38.0}) {
-    MaxBipsManager mgr(config(), budget);
+    MaxBipsManager mgr(config(), units::Watts{budget});
     std::vector<IslandObservation> islands{
         obs(2.0, 12.0, 7), obs(0.8, 9.0, 7), obs(1.5, 11.0, 7),
         obs(0.5, 8.0, 7)};
@@ -91,7 +92,7 @@ TEST(MaxBips, NeverExceedsBudget) {
 TEST(MaxBips, MatchesBruteForceOnSmallInstance) {
   // 2 islands x 8 levels = 64 combinations: the DP must find the best one.
   const double budget = 14.0;
-  MaxBipsManager mgr(config(), budget);
+  MaxBipsManager mgr(config(), units::Watts{budget});
   std::vector<IslandObservation> islands{obs(2.0, 12.0, 7), obs(0.8, 9.0, 7)};
   const auto dp_levels = mgr.choose_levels(islands);
 
@@ -113,7 +114,7 @@ TEST(MaxBips, MatchesBruteForceOnSmallInstance) {
 TEST(MaxBips, FavorsHighBipsPerWattIsland) {
   // Island 0 produces 4x the BIPS for the same power: under a tight budget
   // it should end at a higher level than island 1.
-  MaxBipsManager mgr(config(), 14.0);
+  MaxBipsManager mgr(config(), units::Watts{14.0});
   std::vector<IslandObservation> islands{obs(4.0, 10.0, 7), obs(1.0, 10.0, 7)};
   const auto levels = mgr.choose_levels(islands);
   EXPECT_GT(levels[0], levels[1]);
@@ -125,28 +126,28 @@ TEST(MaxBips, SetBudgetMatchesFreshManager) {
   // over instead of being rebuilt.
   const std::vector<IslandObservation> islands{
       obs(2.0, 12.0, 7), obs(0.8, 9.0, 7), obs(1.5, 11.0, 7), obs(0.5, 8.0, 7)};
-  MaxBipsManager reused(config(), 38.0);
+  MaxBipsManager reused(config(), units::Watts{38.0});
   (void)reused.choose_levels(islands);  // exercise it at the old budget first
-  reused.set_budget_w(20.0);
-  EXPECT_DOUBLE_EQ(reused.budget_w(), 20.0);
+  reused.set_budget(units::Watts{20.0});
+  EXPECT_DOUBLE_EQ(reused.budget().value(), 20.0);
 
-  MaxBipsManager fresh(config(), 20.0);
+  MaxBipsManager fresh(config(), units::Watts{20.0});
   EXPECT_EQ(reused.choose_levels(islands), fresh.choose_levels(islands));
 }
 
 TEST(MaxBips, SetBudgetRejectsNonPositive) {
-  MaxBipsManager mgr(config(), 10.0);
-  EXPECT_THROW(mgr.set_budget_w(0.0), std::invalid_argument);
-  EXPECT_THROW(mgr.set_budget_w(-5.0), std::invalid_argument);
+  MaxBipsManager mgr(config(), units::Watts{10.0});
+  EXPECT_THROW(mgr.set_budget(units::Watts{0.0}), std::invalid_argument);
+  EXPECT_THROW(mgr.set_budget(units::Watts{-5.0}), std::invalid_argument);
 }
 
 TEST(MaxBips, EmptyInput) {
-  MaxBipsManager mgr(config(), 10.0);
+  MaxBipsManager mgr(config(), units::Watts{10.0});
   EXPECT_TRUE(mgr.choose_levels({}).empty());
 }
 
 TEST(MaxBips, ScalesToEightIslands) {
-  MaxBipsManager mgr(config(), 50.0);
+  MaxBipsManager mgr(config(), units::Watts{50.0});
   std::vector<IslandObservation> islands(8, obs(1.0, 10.0, 7));
   const auto levels = mgr.choose_levels(islands);
   ASSERT_EQ(levels.size(), 8u);

@@ -1,4 +1,5 @@
 #include "core/perf_policy.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -21,24 +22,24 @@ double total(const std::vector<double>& v) {
 }
 
 TEST(ShareBounds, RenormalizesToBudget) {
-  const auto out = apply_share_bounds({1.0, 1.0, 1.0, 1.0}, 40.0, 0.0, 1.0);
+  const auto out = apply_share_bounds({1.0, 1.0, 1.0, 1.0}, units::Watts{40.0}, 0.0, 1.0);
   EXPECT_NEAR(total(out), 40.0, 1e-9);
   for (const double a : out) EXPECT_NEAR(a, 10.0, 1e-9);
 }
 
 TEST(ShareBounds, EnforcesFloor) {
-  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, 40.0, 0.1, 1.0);
+  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, units::Watts{40.0}, 0.1, 1.0);
   for (const double a : out) EXPECT_GE(a, 4.0 - 1e-9);
   EXPECT_NEAR(total(out), 40.0, 1e-6);
 }
 
 TEST(ShareBounds, EnforcesCeiling) {
-  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, 40.0, 0.0, 0.4);
+  const auto out = apply_share_bounds({100.0, 1.0, 1.0, 1.0}, units::Watts{40.0}, 0.0, 0.4);
   EXPECT_LE(out[0], 16.0 + 1e-9);
 }
 
 TEST(ShareBounds, HandlesAllZeroWeights) {
-  const auto out = apply_share_bounds({0.0, 0.0, 0.0, 0.0}, 40.0, 0.05, 1.0);
+  const auto out = apply_share_bounds({0.0, 0.0, 0.0, 0.0}, units::Watts{40.0}, 0.05, 1.0);
   EXPECT_NEAR(total(out), 40.0, 1e-6);
   for (const double a : out) EXPECT_NEAR(a, 10.0, 1e-6);
 }
@@ -46,7 +47,7 @@ TEST(ShareBounds, HandlesAllZeroWeights) {
 TEST(PerfPolicy, FirstInvocationEqualSplit) {
   PerformanceAwarePolicy policy;
   const std::vector<double> prev(4, 10.0);
-  const auto alloc = policy.provision(40.0, make_obs({1, 2, 3, 4}), prev);
+  const auto alloc = policy.provision(units::Watts{40.0}, make_obs({1, 2, 3, 4}), prev);
   for (const double a : alloc) EXPECT_NEAR(a, 10.0, 1e-9);
 }
 
@@ -54,8 +55,7 @@ TEST(PerfPolicy, AllocationsAlwaysSumToBudget) {
   PerformanceAwarePolicy policy;
   std::vector<double> prev(4, 10.0);
   for (int round = 0; round < 20; ++round) {
-    const auto alloc = policy.provision(
-        40.0, make_obs({1.0 + round, 2.0, 0.5, 3.0}), prev);
+    const auto alloc = policy.provision(units::Watts{40.0}, make_obs({1.0 + round, 2.0, 0.5, 3.0}), prev);
     EXPECT_NEAR(total(alloc), 40.0, 1e-6) << "round " << round;
     prev = alloc;
   }
@@ -72,8 +72,7 @@ TEST(PerfPolicy, ShiftsPowerTowardEfficientIslands) {
   double bips0 = 1.0;
   for (int round = 0; round < 10; ++round) {
     bips0 *= 1.3;  // island 0 keeps improving
-    const auto alloc = policy.provision(
-        40.0, make_obs({bips0, 1.0, 1.0, 0.2}), prev);
+    const auto alloc = policy.provision(units::Watts{40.0}, make_obs({bips0, 1.0, 1.0, 0.2}), prev);
     prev = alloc;
   }
   EXPECT_GT(prev[0], prev[3]);
@@ -87,7 +86,7 @@ TEST(PerfPolicy, StarvationPreventedByFloor) {
   std::vector<double> prev(4, 10.0);
   for (int round = 0; round < 15; ++round) {
     // Island 3 performs terribly every round.
-    prev = policy.provision(40.0, make_obs({5.0, 5.0, 5.0, 0.01}), prev);
+    prev = policy.provision(units::Watts{40.0}, make_obs({5.0, 5.0, 5.0, 0.01}), prev);
   }
   EXPECT_GE(prev[3], 0.05 * 40.0 - 1e-9);
 }
@@ -102,7 +101,7 @@ TEST(PerfPolicy, MaxShareConstraintHolds) {
   double bips0 = 1.0;
   for (int round = 0; round < 10; ++round) {
     bips0 *= 2.0;
-    prev = policy.provision(40.0, make_obs({bips0, 0.5, 0.5, 0.5}), prev);
+    prev = policy.provision(units::Watts{40.0}, make_obs({bips0, 0.5, 0.5, 0.5}), prev);
     EXPECT_LE(prev[0], 0.3 * 40.0 + 1e-6);
   }
 }
@@ -110,10 +109,10 @@ TEST(PerfPolicy, MaxShareConstraintHolds) {
 TEST(PerfPolicy, PhiCapsPreventWildSwings) {
   PerformanceAwarePolicy policy;
   std::vector<double> prev(4, 10.0);
-  policy.provision(40.0, make_obs({1, 1, 1, 1}), prev);
+  policy.provision(units::Watts{40.0}, make_obs({1, 1, 1, 1}), prev);
   // Absurd BIPS spike: allocation must stay bounded by the phi clamp.
   const auto alloc =
-      policy.provision(40.0, make_obs({1e9, 1, 1, 1}), prev);
+      policy.provision(units::Watts{40.0}, make_obs({1e9, 1, 1, 1}), prev);
   EXPECT_LT(alloc[0], 40.0);
   EXPECT_GT(alloc[1], 0.0);
 }
@@ -121,10 +120,10 @@ TEST(PerfPolicy, PhiCapsPreventWildSwings) {
 TEST(PerfPolicy, ResetForgetsHistory) {
   PerformanceAwarePolicy policy;
   std::vector<double> prev(4, 10.0);
-  policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
-  policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
+  policy.provision(units::Watts{40.0}, make_obs({9, 1, 1, 1}), prev);
+  policy.provision(units::Watts{40.0}, make_obs({9, 1, 1, 1}), prev);
   policy.reset();
-  const auto alloc = policy.provision(40.0, make_obs({9, 1, 1, 1}), prev);
+  const auto alloc = policy.provision(units::Watts{40.0}, make_obs({9, 1, 1, 1}), prev);
   for (const double a : alloc) EXPECT_NEAR(a, 10.0, 1e-9);
 }
 

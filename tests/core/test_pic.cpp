@@ -1,4 +1,5 @@
 #include "core/pic.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -35,24 +36,24 @@ struct FakeIsland {
 
 TEST(Pic, TracksReachableTarget) {
   const power::TransducerModel t{20.0, 2.0, 1.0};  // P = 20u + 2
-  Pic pic(config(), t, 2.0);
+  Pic pic(config(), t, units::GigaHertz{2.0});
   FakeIsland island{/*a=*/7.9, /*offset=*/1.0};  // 7.9 W/GHz = 7.9 %/GHz
-  pic.set_target_w(10.0);
+  pic.set_target(units::Watts{10.0});
   for (int i = 0; i < 40; ++i) {
-    island.freq = pic.invoke(island.utilization(t));
+    island.freq = pic.invoke(island.utilization(t)).value();
   }
   EXPECT_NEAR(island.power(), 10.0, 0.8);  // within the deadband quantum
 }
 
 TEST(Pic, SettlesWithinPaperInvocationCount) {
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(config(), t, 2.0);
+  Pic pic(config(), t, units::GigaHertz{2.0});
   FakeIsland island{7.9, 1.0};
-  pic.set_target_w(10.0);  // from ~16.8 W at 2 GHz down to 10 W
+  pic.set_target(units::Watts{10.0});  // from ~16.8 W at 2 GHz down to 10 W
   int settle = -1;
   double prev_err = 1e9;
   for (int i = 0; i < 20; ++i) {
-    island.freq = pic.invoke(island.utilization(t));
+    island.freq = pic.invoke(island.utilization(t)).value();
     const double err = std::abs(island.power() - 10.0);
     if (err < 1.0 && prev_err < 1.0 && settle < 0) settle = i;
     prev_err = err;
@@ -75,15 +76,15 @@ TEST(Pic, GainSchedulingPreservesDynamics) {
   FakeIsland island_a{7.9, 1.0};      // 16.8 W at 2.0 GHz
   FakeIsland island_b{2 * 7.9, 1.0};  // 16.8 W at 1.0 GHz
   island_b.freq = 1.0;
-  Pic nominal(nominal_cfg, t, 2.0);
-  Pic scheduled(scheduled_cfg, t, 1.0);
-  nominal.set_target_w(10.0);
-  scheduled.set_target_w(10.0);
+  Pic nominal(nominal_cfg, t, units::GigaHertz{2.0});
+  Pic scheduled(scheduled_cfg, t, units::GigaHertz{1.0});
+  nominal.set_target(units::Watts{10.0});
+  scheduled.set_target(units::Watts{10.0});
 
   int settle_a = -1, settle_b = -1;
   for (int i = 0; i < 15; ++i) {
-    island_a.freq = nominal.invoke(island_a.utilization(t));
-    island_b.freq = scheduled.invoke(island_b.utilization(t));
+    island_a.freq = nominal.invoke(island_a.utilization(t)).value();
+    island_b.freq = scheduled.invoke(island_b.utilization(t)).value();
     if (settle_a < 0 && std::abs(island_a.power() - 10.0) < 1.0) settle_a = i;
     if (settle_b < 0 && std::abs(island_b.power() - 10.0) < 1.0) settle_b = i;
   }
@@ -103,21 +104,21 @@ TEST(Pic, GainScheduleKeepsFullStepActuation) {
   const power::TransducerModel t{20.0, 2.0, 1.0};
   PicConfig cfg = config();
   cfg.plant_gain = 2 * cfg.nominal_plant_gain;
-  Pic pic(cfg, t, 2.0);
-  pic.set_target_w(2.0);  // huge negative error from ~16.8 W
+  Pic pic(cfg, t, units::GigaHertz{2.0});
+  pic.set_target(units::Watts{2.0});  // huge negative error from ~16.8 W
   FakeIsland island{2 * 7.9, 1.0};
-  const double freq = pic.invoke(island.utilization(t));
+  const double freq = pic.invoke(island.utilization(t)).value();
   EXPECT_DOUBLE_EQ(freq, 2.0 - cfg.max_step_ghz);
 }
 
 TEST(Pic, UnreachableTargetSaturatesAtMaxFrequency) {
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(config(), t, 1.0);
+  Pic pic(config(), t, units::GigaHertz{1.0});
   FakeIsland island{7.9, 1.0};
   island.freq = 1.0;
-  pic.set_target_w(50.0);  // island max is ~16.8 W
+  pic.set_target(units::Watts{50.0});  // island max is ~16.8 W
   for (int i = 0; i < 30; ++i) {
-    island.freq = pic.invoke(island.utilization(t));
+    island.freq = pic.invoke(island.utilization(t)).value();
   }
   EXPECT_DOUBLE_EQ(island.freq, 2.0);
 }
@@ -126,14 +127,14 @@ TEST(Pic, RecoversQuicklyAfterSaturation) {
   // Anti-windup: after a long unreachable-target stretch, a reachable target
   // must be acquired within a few invocations.
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(config(), t, 2.0);
+  Pic pic(config(), t, units::GigaHertz{2.0});
   FakeIsland island{7.9, 1.0};
-  pic.set_target_w(50.0);
-  for (int i = 0; i < 50; ++i) island.freq = pic.invoke(island.utilization(t));
-  pic.set_target_w(8.0);
+  pic.set_target(units::Watts{50.0});
+  for (int i = 0; i < 50; ++i) island.freq = pic.invoke(island.utilization(t)).value();
+  pic.set_target(units::Watts{8.0});
   int steps = 0;
   for (; steps < 30; ++steps) {
-    island.freq = pic.invoke(island.utilization(t));
+    island.freq = pic.invoke(island.utilization(t)).value();
     if (std::abs(island.power() - 8.0) < 1.0) break;
   }
   EXPECT_LE(steps, 8);
@@ -143,40 +144,52 @@ TEST(Pic, DeadbandHoldsFrequency) {
   PicConfig cfg = config();
   cfg.deadband_pct = 2.0;  // 2 W on the 100 W scale
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(cfg, t, 1.4);
+  Pic pic(cfg, t, units::GigaHertz{1.4});
   FakeIsland island{7.9, 1.0};
   island.freq = 1.4;
-  pic.set_target_w(island.power() + 1.0);  // error inside the deadband
-  const double f = pic.invoke(island.utilization(t));
+  pic.set_target(units::Watts{island.power() + 1.0});  // error inside the deadband
+  const double f = pic.invoke(island.utilization(t)).value();
   EXPECT_DOUBLE_EQ(f, 1.4);
 }
 
 TEST(Pic, RequestClampedToDvfsRange) {
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(config(), t, 0.6);
-  pic.set_target_w(0.0);  // drive down hard
+  Pic pic(config(), t, units::GigaHertz{0.6});
+  pic.set_target(units::Watts{0.0});  // drive down hard
   for (int i = 0; i < 20; ++i) pic.invoke(0.9);
-  EXPECT_GE(pic.frequency_request_ghz(), 0.6);
-  pic.set_target_w(100.0);
+  EXPECT_GE(pic.frequency_request().value(), 0.6);
+  pic.set_target(units::Watts{100.0});
   for (int i = 0; i < 50; ++i) pic.invoke(0.1);
-  EXPECT_LE(pic.frequency_request_ghz(), 2.0);
+  EXPECT_LE(pic.frequency_request().value(), 2.0);
+}
+
+TEST(Pic, LastErrorIsPercentagePointsOfScale) {
+  // power_scale_w = 100, so one watt of tracking error is exactly one
+  // percentage point: a percent-vs-fraction mixup at the transducer
+  // boundary would report an error 100x too small here.
+  const power::TransducerModel t{20.0, 2.0, 1.0};  // P = 20u + 2
+  Pic pic(config(), t, units::GigaHertz{2.0});
+  FakeIsland island{/*a=*/7.9, /*offset=*/1.0};    // 16.8 W at 2.0 GHz
+  pic.set_target(units::Watts{10.0});
+  pic.invoke(island.utilization(t));
+  EXPECT_NEAR(pic.last_error().value(), 10.0 - 16.8, 1e-9);
 }
 
 TEST(Pic, LevelScaleAdjustsSensedPower) {
   const power::TransducerModel t{20.0, 0.0, 1.0};
-  Pic pic(config(), t, 2.0);
-  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5, 1.0), 10.0);
-  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5, 0.5), 5.0);
+  Pic pic(config(), t, units::GigaHertz{2.0});
+  EXPECT_DOUBLE_EQ(pic.sensed_power(0.5, 1.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(pic.sensed_power(0.5, 0.5).value(), 5.0);
 }
 
 TEST(Pic, ResetRestoresInitialState) {
   const power::TransducerModel t{20.0, 2.0, 1.0};
-  Pic pic(config(), t, 2.0);
-  pic.set_target_w(5.0);
+  Pic pic(config(), t, units::GigaHertz{2.0});
+  pic.set_target(units::Watts{5.0});
   for (int i = 0; i < 10; ++i) pic.invoke(0.9);
-  pic.reset(1.4);
-  EXPECT_DOUBLE_EQ(pic.frequency_request_ghz(), 1.4);
-  EXPECT_DOUBLE_EQ(pic.last_error_pct(), 0.0);
+  pic.reset(units::GigaHertz{1.4});
+  EXPECT_DOUBLE_EQ(pic.frequency_request().value(), 1.4);
+  EXPECT_DOUBLE_EQ(pic.last_error().value(), 0.0);
 }
 
 TEST(Pic, NoDerivativeKickAfterDeadbandHold) {
@@ -195,26 +208,26 @@ TEST(Pic, NoDerivativeKickAfterDeadbandHold) {
   c.max_step_ghz = 10.0;
   c.deadband_pct = 1.0;
   const power::TransducerModel t{1.0, 0.0, 1.0};  // sensed_w == utilization
-  Pic pic(c, t, 1.0);
-  pic.set_target_w(0.5);
+  Pic pic(c, t, units::GigaHertz{1.0});
+  pic.set_target(units::Watts{0.5});
 
-  EXPECT_DOUBLE_EQ(pic.invoke(0.0), 1.0);   // error +5: first sample, kd = 0
-  EXPECT_DOUBLE_EQ(pic.invoke(0.45), 1.0);  // error +0.5: deadband hold
-  EXPECT_DOUBLE_EQ(pic.invoke(0.55), 1.0);  // error -0.5: deadband hold
-  EXPECT_DOUBLE_EQ(pic.invoke(0.41), 1.0);  // error +0.9: deadband hold
+  EXPECT_DOUBLE_EQ(pic.invoke(0.0).value(), 1.0);   // error +5: first sample, kd = 0
+  EXPECT_DOUBLE_EQ(pic.invoke(0.45).value(), 1.0);  // error +0.5: deadband hold
+  EXPECT_DOUBLE_EQ(pic.invoke(0.55).value(), 1.0);  // error -0.5: deadband hold
+  EXPECT_DOUBLE_EQ(pic.invoke(0.41).value(), 1.0);  // error +0.9: deadband hold
   // Exit at error +2.0. The derivative must be 2.0 - 0.9 = +1.1 against the
   // last held sample; differentiating against the pre-hold +5.0 would give
   // -3.0 and step the frequency *down* on an under-power error.
-  EXPECT_DOUBLE_EQ(pic.invoke(0.3), 2.1);
+  EXPECT_DOUBLE_EQ(pic.invoke(0.3).value(), 2.1);
 }
 
 TEST(Pic, TransducerSwapTakesEffect) {
   const power::TransducerModel t1{20.0, 0.0, 1.0};
   const power::TransducerModel t2{40.0, 0.0, 1.0};
-  Pic pic(config(), t1, 2.0);
-  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5), 10.0);
+  Pic pic(config(), t1, units::GigaHertz{2.0});
+  EXPECT_DOUBLE_EQ(pic.sensed_power(0.5).value(), 10.0);
   pic.set_transducer(t2);
-  EXPECT_DOUBLE_EQ(pic.sensed_power_w(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(pic.sensed_power(0.5).value(), 20.0);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/experiment.h"
+#include "util/units.h"
 
 namespace cpm::core {
 namespace {
@@ -23,16 +24,16 @@ std::vector<IslandObservation> make_obs(std::vector<double> bips,
 
 TEST(QosPolicy, PowerEstimateCubeLaw) {
   // Doubling throughput needs 8x the power (cube law).
-  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(10.0, 1.0, 2.0), 80.0,
+  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(units::Watts{10.0}, 1.0, 2.0).value(), 80.0,
               1e-9);
   // Already above target: estimate shrinks.
-  EXPECT_LT(QosAwarePolicy::estimate_power_for_bips(10.0, 2.0, 1.0), 10.0);
+  EXPECT_LT(QosAwarePolicy::estimate_power_for_bips(units::Watts{10.0}, 2.0, 1.0).value(), 10.0);
   // Clamped ratio: absurd targets do not explode.
-  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(10.0, 1.0, 100.0),
+  EXPECT_NEAR(QosAwarePolicy::estimate_power_for_bips(units::Watts{10.0}, 1.0, 100.0).value(),
               10.0 * 125.0, 1e-9);
   // Degenerate inputs.
-  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(0.0, 1.0, 1.0), 0.0);
-  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(10.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(units::Watts{0.0}, 1.0, 1.0).value(), 0.0);
+  EXPECT_EQ(QosAwarePolicy::estimate_power_for_bips(units::Watts{10.0}, 0.0, 1.0).value(), 0.0);
 }
 
 TEST(QosPolicy, SlaIslandGetsItsReservation) {
@@ -42,8 +43,7 @@ TEST(QosPolicy, SlaIslandGetsItsReservation) {
   std::vector<double> prev(4, 10.0);
   // Island 0 currently under-performs its SLA (0.8 < 1.0 BIPS at 8 W).
   const auto alloc =
-      policy.provision(40.0, make_obs({0.8, 2.0, 2.0, 2.0}, {8, 8, 8, 8}),
-                       prev);
+      policy.provision(units::Watts{40.0}, make_obs({0.8, 2.0, 2.0, 2.0}, {8, 8, 8, 8}), prev);
   // Reservation ~ 8 * (1/0.8)^3 * 1.15 ~ 18 W; island 0 must get at least
   // its reservation.
   ASSERT_EQ(policy.last_reservations().size(), 4u);
@@ -58,8 +58,7 @@ TEST(QosPolicy, TotalNeverExceedsBudget) {
   QosAwarePolicy policy(cfg);
   std::vector<double> prev(4, 10.0);
   for (int round = 0; round < 10; ++round) {
-    prev = policy.provision(40.0, make_obs({1.0, 1.0, 1.0, 1.0}, {9, 9, 9, 9}),
-                            prev);
+    prev = policy.provision(units::Watts{40.0}, make_obs({1.0, 1.0, 1.0, 1.0}, {9, 9, 9, 9}), prev);
     EXPECT_LE(std::accumulate(prev.begin(), prev.end(), 0.0), 40.0 + 1e-6);
   }
 }
@@ -70,8 +69,7 @@ TEST(QosPolicy, InfeasibleSlasDegradeGracefully) {
   cfg.max_reserved_fraction = 0.8;
   QosAwarePolicy policy(cfg);
   std::vector<double> prev(4, 10.0);
-  const auto alloc = policy.provision(
-      40.0, make_obs({1, 1, 1, 1}, {10, 10, 10, 10}), prev);
+  const auto alloc = policy.provision(units::Watts{40.0}, make_obs({1, 1, 1, 1}, {10, 10, 10, 10}), prev);
   const double reserved = std::accumulate(policy.last_reservations().begin(),
                                           policy.last_reservations().end(),
                                           0.0);
@@ -88,8 +86,8 @@ TEST(QosPolicy, BestEffortOnlyReducesToPerfPolicy) {
   PerformanceAwarePolicy perf(cfg.perf);
   std::vector<double> prev(4, 10.0);
   const auto obs = make_obs({1, 2, 3, 4}, {10, 10, 10, 10});
-  const auto a = qos.provision(40.0, obs, prev);
-  const auto b = perf.provision(40.0, obs, prev);
+  const auto a = qos.provision(units::Watts{40.0}, obs, prev);
+  const auto b = perf.provision(units::Watts{40.0}, obs, prev);
   for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/experiment.h"
 #include "workload/mixes.h"
+#include "util/units.h"
 
 namespace cpm::core {
 namespace {
@@ -35,7 +36,7 @@ TEST(Rack, RejectsBadConstruction) {
 TEST(Rack, BudgetIsFractionOfCombinedMaxPower) {
   auto chips = make_chips(2);
   const double total_max =
-      chips[0]->max_chip_power_w() + chips[1]->max_chip_power_w();
+      chips[0]->max_chip_power().value() + chips[1]->max_chip_power().value();
   RackConfig cfg;
   cfg.budget_fraction = 0.7;
   RackManager rack(cfg, std::move(chips));
@@ -123,28 +124,28 @@ TEST(SimulationRun, LifecycleGuards) {
   auto live = sim.start();
   EXPECT_THROW(live->advance(0.0), std::invalid_argument);
   EXPECT_THROW(live->advance(-1.0), std::invalid_argument);
-  EXPECT_THROW(live->set_budget_w(0.0), std::invalid_argument);
+  EXPECT_THROW(live->set_budget(units::Watts{0.0}), std::invalid_argument);
   live->advance(0.01);
   live->finish();
   EXPECT_THROW(live->advance(0.01), std::logic_error);
   EXPECT_THROW(live->finish(), std::logic_error);
   // Live observables are invalid once finish() has consumed the run.
   EXPECT_THROW(live->instructions(), std::logic_error);
-  EXPECT_THROW(live->last_window_power_w(), std::logic_error);
+  EXPECT_THROW(live->last_window_power().value(), std::logic_error);
 }
 
 TEST(SimulationRun, MidRunBudgetChangeApplies) {
   Simulation sim(default_config(0.9, 19));
   auto live = sim.start();
   live->advance(0.05);
-  const double before = live->last_window_power_w();
-  live->set_budget_w(sim.max_chip_power_w() * 0.6);
+  const double before = live->last_window_power().value();
+  live->set_budget(units::Watts{sim.max_chip_power().value() * 0.6});
   live->advance(0.1);
   const SimulationResult res = live->finish();
   const double after = res.gpm_records.back().chip_actual_w;
   EXPECT_LT(after, before * 0.85);
   EXPECT_NEAR(res.gpm_records.back().chip_budget_w,
-              sim.max_chip_power_w() * 0.6, 1e-9);
+              sim.max_chip_power().value() * 0.6, 1e-9);
 }
 
 }  // namespace

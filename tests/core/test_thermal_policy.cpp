@@ -1,5 +1,6 @@
 #include "core/thermal_policy.h"
 #include "core/variation_policy.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -23,7 +24,7 @@ TEST(Tracker, NoViolationWhenUnderCaps) {
   ThermalConstraintTracker tr(constraints(), 4);
   const std::vector<double> alloc{9.0, 9.0, 9.0, 9.0};  // 22.5 % pairs
   for (int i = 0; i < 10; ++i) {
-    EXPECT_FALSE(tr.record(alloc, 80.0));
+    EXPECT_FALSE(tr.record(alloc, units::Watts{80.0}));
   }
   EXPECT_DOUBLE_EQ(tr.violation_fraction(), 0.0);
 }
@@ -31,8 +32,8 @@ TEST(Tracker, NoViolationWhenUnderCaps) {
 TEST(Tracker, PairViolationAfterConsecutiveLimit) {
   ThermalConstraintTracker tr(constraints(), 4);
   const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};  // pair 0-1 at 30 %
-  EXPECT_FALSE(tr.record(hot, 80.0));  // streak 1 < limit 2
-  EXPECT_TRUE(tr.record(hot, 80.0));   // streak 2 == limit
+  EXPECT_FALSE(tr.record(hot, units::Watts{80.0}));  // streak 1 < limit 2
+  EXPECT_TRUE(tr.record(hot, units::Watts{80.0}));   // streak 2 == limit
   EXPECT_EQ(tr.violation_intervals(), 1u);
 }
 
@@ -40,9 +41,9 @@ TEST(Tracker, StreakResetsWhenUnderCap) {
   ThermalConstraintTracker tr(constraints(), 4);
   const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
   const std::vector<double> cool{8.0, 8.0, 5.0, 5.0};
-  tr.record(hot, 80.0);
-  tr.record(cool, 80.0);  // resets pair streak
-  EXPECT_FALSE(tr.record(hot, 80.0));
+  tr.record(hot, units::Watts{80.0});
+  tr.record(cool, units::Watts{80.0});  // resets pair streak
+  EXPECT_FALSE(tr.record(hot, units::Watts{80.0}));
 }
 
 TEST(Tracker, SingleIslandViolation) {
@@ -50,16 +51,16 @@ TEST(Tracker, SingleIslandViolation) {
   // Island 0 at 21.25 % (over the 20 % single cap) but pair 0-1 at 23.75 %
   // (under the 25 % pair cap), so only the single constraint is in play.
   const std::vector<double> hot{17.0, 2.0, 5.0, 5.0};
-  for (int i = 0; i < 3; ++i) EXPECT_FALSE(tr.record(hot, 80.0));
-  EXPECT_TRUE(tr.record(hot, 80.0));  // 4th consecutive
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(tr.record(hot, units::Watts{80.0}));
+  EXPECT_TRUE(tr.record(hot, units::Watts{80.0}));  // 4th consecutive
 }
 
 TEST(Tracker, WouldViolatePredicts) {
   ThermalConstraintTracker tr(constraints(), 4);
   const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
-  EXPECT_FALSE(tr.would_violate(hot, 80.0));  // streak 0 -> next would be 1
-  tr.record(hot, 80.0);
-  EXPECT_TRUE(tr.would_violate(hot, 80.0));  // next would complete the limit
+  EXPECT_FALSE(tr.would_violate(hot, units::Watts{80.0}));  // streak 0 -> next would be 1
+  tr.record(hot, units::Watts{80.0});
+  EXPECT_TRUE(tr.would_violate(hot, units::Watts{80.0}));  // next would complete the limit
 }
 
 TEST(Tracker, RejectsOutOfRangePairs) {
@@ -71,10 +72,10 @@ TEST(Tracker, RejectsOutOfRangePairs) {
 TEST(Tracker, ResetClearsStreaks) {
   ThermalConstraintTracker tr(constraints(), 4);
   const std::vector<double> hot{12.0, 12.0, 5.0, 5.0};
-  tr.record(hot, 80.0);
+  tr.record(hot, units::Watts{80.0});
   tr.reset();
   EXPECT_EQ(tr.intervals(), 0u);
-  EXPECT_FALSE(tr.record(hot, 80.0));
+  EXPECT_FALSE(tr.record(hot, units::Watts{80.0}));
 }
 
 TEST(Tracker, EnforceRedistributionRespectsUncriticalSingleCaps) {
@@ -88,11 +89,11 @@ TEST(Tracker, EnforceRedistributionRespectsUncriticalSingleCaps) {
   ThermalConstraintTracker tr(c, 2);
   // Three over-cap intervals: island 0 is one interval from a violation.
   for (int i = 0; i < 3; ++i) {
-    EXPECT_FALSE(tr.record(std::vector<double>{25.0, 5.0}, 100.0));
+    EXPECT_FALSE(tr.record(std::vector<double>{25.0, 5.0}, units::Watts{100.0}));
   }
   // Island 1 sits 1 W under its 20 W cap. Enforcement clamps island 0 and
   // frees ~10 W; the grant to island 1 must stop at its ~1 W of headroom.
-  const auto out = tr.enforce({30.0, 19.0}, 100.0);
+  const auto out = tr.enforce({30.0, 19.0}, units::Watts{100.0});
   EXPECT_LE(out[0], 0.20 * 100.0);
   EXPECT_LE(out[1], 0.20 * 100.0);
 }
@@ -100,14 +101,14 @@ TEST(Tracker, EnforceRedistributionRespectsUncriticalSingleCaps) {
 // A base policy that always wants to pour everything into islands 0 and 1.
 class GreedyHotPolicy final : public ProvisioningPolicy {
  public:
-  std::vector<double> provision(double budget,
+  std::vector<double> provision(units::Watts budget,
                                 std::span<const IslandObservation> obs,
                                 std::span<const double>) override {
     std::vector<double> alloc(obs.size(), 0.0);
-    alloc[0] = budget * 0.4;
-    alloc[1] = budget * 0.4;
+    alloc[0] = (budget * 0.4).value();
+    alloc[1] = (budget * 0.4).value();
     for (std::size_t i = 2; i < alloc.size(); ++i) {
-      alloc[i] = budget * 0.2 / static_cast<double>(alloc.size() - 2);
+      alloc[i] = (budget * 0.2).value() / static_cast<double>(alloc.size() - 2);
     }
     return alloc;
   }
@@ -120,7 +121,7 @@ TEST(ThermalPolicy, NeverCompletesViolation) {
   std::vector<IslandObservation> obs(4);
   std::vector<double> prev(4, 20.0);
   for (int round = 0; round < 30; ++round) {
-    prev = policy.provision(80.0, obs, prev);
+    prev = policy.provision(units::Watts{80.0}, obs, prev);
   }
   EXPECT_EQ(policy.tracker().violation_intervals(), 0u);
 }
@@ -131,7 +132,7 @@ TEST(ThermalPolicy, NeverExceedsBudget) {
   std::vector<IslandObservation> obs(4);
   std::vector<double> prev(4, 20.0);
   for (int round = 0; round < 10; ++round) {
-    prev = policy.provision(80.0, obs, prev);
+    prev = policy.provision(units::Watts{80.0}, obs, prev);
     const double total = std::accumulate(prev.begin(), prev.end(), 0.0);
     EXPECT_LE(total, 80.0 + 1e-6);
   }
@@ -146,8 +147,8 @@ TEST(ThermalPolicy, PerformancePolicyAloneViolates) {
   std::vector<double> prev(4, 20.0);
   std::size_t violations = 0;
   for (int round = 0; round < 10; ++round) {
-    prev = greedy.provision(80.0, obs, prev);
-    if (audit.record(prev, 80.0)) ++violations;
+    prev = greedy.provision(units::Watts{80.0}, obs, prev);
+    if (audit.record(prev, units::Watts{80.0})) ++violations;
   }
   EXPECT_GT(violations, 0u);
 }
@@ -168,7 +169,7 @@ TEST(ThermalPolicy, ComposesOverAnyBasePolicy) {
   }
   std::vector<double> prev(4, 20.0);
   for (int round = 0; round < 20; ++round) {
-    prev = policy.provision(80.0, obs, prev);
+    prev = policy.provision(units::Watts{80.0}, obs, prev);
   }
   EXPECT_EQ(policy.tracker().violation_intervals(), 0u);
   EXPECT_EQ(policy.name(), "thermal-aware");
@@ -184,7 +185,7 @@ TEST(ThermalPolicy, ResetPropagates) {
                             4);
   std::vector<IslandObservation> obs(4);
   std::vector<double> prev(4, 20.0);
-  policy.provision(80.0, obs, prev);
+  policy.provision(units::Watts{80.0}, obs, prev);
   policy.reset();
   EXPECT_EQ(policy.tracker().intervals(), 0u);
 }

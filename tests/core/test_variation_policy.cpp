@@ -1,4 +1,5 @@
 #include "core/variation_policy.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -23,7 +24,7 @@ std::vector<IslandObservation> obs_with_epi(std::vector<double> epi,
 TEST(VariationPolicy, StartsAtTopLevelAndExploresDown) {
   VariationAwarePolicy policy;
   const std::vector<double> prev(4, 10.0);
-  policy.provision(80.0, obs_with_epi({1, 1, 1, 1}), prev);
+  policy.provision(units::Watts{80.0}, obs_with_epi({1, 1, 1, 1}), prev);
   // First invocation with EPI history moves one step in the initial
   // (downward) direction.
   for (const std::size_t l : policy.level_targets()) EXPECT_EQ(l, 6u);
@@ -34,7 +35,7 @@ TEST(VariationPolicy, KeepsDirectionWhileEpiImproves) {
   std::vector<double> prev(4, 10.0);
   double epi = 1.0;
   for (int round = 0; round < 4; ++round) {
-    prev = policy.provision(80.0, obs_with_epi({epi, epi, epi, epi}), prev);
+    prev = policy.provision(units::Watts{80.0}, obs_with_epi({epi, epi, epi, epi}), prev);
     epi *= 0.8;  // keeps improving -> keep descending
   }
   for (const std::size_t l : policy.level_targets()) EXPECT_EQ(l, 3u);
@@ -46,20 +47,20 @@ TEST(VariationPolicy, ReversesAndHoldsOnDegradation) {
   VariationAwarePolicy policy(cfg);
   std::vector<double> prev(4, 10.0);
   // Improving, improving, then worse.
-  prev = policy.provision(80.0, obs_with_epi({1.0, 1, 1, 1}), prev);   // -> 6
-  prev = policy.provision(80.0, obs_with_epi({0.8, 0.8, 0.8, 0.8}), prev); // -> 5
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({1.0, 1, 1, 1}), prev);   // -> 6
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({0.8, 0.8, 0.8, 0.8}), prev); // -> 5
   const auto before = policy.level_targets();
-  prev = policy.provision(80.0, obs_with_epi({1.2, 1.2, 1.2, 1.2}), prev);
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({1.2, 1.2, 1.2, 1.2}), prev);
   const auto after = policy.level_targets();
   // Reversal: direction flips (level moves back up).
   EXPECT_EQ(after[0], before[0] + 1);
   // Hold: next invocations keep the level fixed.
-  prev = policy.provision(80.0, obs_with_epi({1.0, 1, 1, 1}), prev);
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({1.0, 1, 1, 1}), prev);
   EXPECT_EQ(policy.level_targets()[0], after[0]);
-  prev = policy.provision(80.0, obs_with_epi({1.0, 1, 1, 1}), prev);
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({1.0, 1, 1, 1}), prev);
   EXPECT_EQ(policy.level_targets()[0], after[0]);
   // Hold expired: exploration resumes.
-  prev = policy.provision(80.0, obs_with_epi({1.0, 1, 1, 1}), prev);
+  prev = policy.provision(units::Watts{80.0}, obs_with_epi({1.0, 1, 1, 1}), prev);
   EXPECT_NE(policy.level_targets()[0], after[0]);
 }
 
@@ -68,7 +69,7 @@ TEST(VariationPolicy, LevelsStayInTableRange) {
   std::vector<double> prev(4, 10.0);
   double epi = 1.0;
   for (int round = 0; round < 30; ++round) {
-    prev = policy.provision(80.0, obs_with_epi({epi, epi, epi, epi}), prev);
+    prev = policy.provision(units::Watts{80.0}, obs_with_epi({epi, epi, epi, epi}), prev);
     epi *= 0.9;  // monotone improvement drives levels to the floor
   }
   for (const std::size_t l : policy.level_targets()) EXPECT_EQ(l, 0u);
@@ -78,7 +79,7 @@ TEST(VariationPolicy, AllocationNeverExceedsBudget) {
   VariationAwarePolicy policy;
   std::vector<double> prev(4, 30.0);
   for (int round = 0; round < 10; ++round) {
-    prev = policy.provision(80.0, obs_with_epi({1, 1, 1, 1}), prev);
+    prev = policy.provision(units::Watts{80.0}, obs_with_epi({1, 1, 1, 1}), prev);
     EXPECT_LE(std::accumulate(prev.begin(), prev.end(), 0.0), 80.0 + 1e-6);
   }
 }
@@ -87,7 +88,7 @@ TEST(VariationPolicy, ZeroInstructionsAreHandled) {
   VariationAwarePolicy policy;
   std::vector<IslandObservation> obs(4);  // all zero
   const std::vector<double> prev(4, 10.0);
-  const auto alloc = policy.provision(80.0, obs, prev);
+  const auto alloc = policy.provision(units::Watts{80.0}, obs, prev);
   ASSERT_EQ(alloc.size(), 4u);
   for (const double a : alloc) EXPECT_GE(a, 0.0);
 }
@@ -95,9 +96,9 @@ TEST(VariationPolicy, ZeroInstructionsAreHandled) {
 TEST(VariationPolicy, ResetClearsState) {
   VariationAwarePolicy policy;
   std::vector<double> prev(4, 10.0);
-  policy.provision(80.0, obs_with_epi({1, 1, 1, 1}), prev);
+  policy.provision(units::Watts{80.0}, obs_with_epi({1, 1, 1, 1}), prev);
   policy.reset();
-  policy.provision(80.0, obs_with_epi({1, 1, 1, 1}), prev);
+  policy.provision(units::Watts{80.0}, obs_with_epi({1, 1, 1, 1}), prev);
   for (const std::size_t l : policy.level_targets()) EXPECT_EQ(l, 6u);
 }
 
@@ -108,11 +109,11 @@ TEST(VariationPolicy, AllocScalesWithTargetLevelPower) {
   std::vector<double> prev(2, 10.0);
   // Island 0 improves (descends); island 1 degrades immediately (stays).
   auto o = obs_with_epi({1.0, 1.0});
-  prev = policy.provision(80.0, o, prev);
+  prev = policy.provision(units::Watts{80.0}, o, prev);
   o = obs_with_epi({0.7, 1.5});
-  prev = policy.provision(80.0, o, prev);
+  prev = policy.provision(units::Watts{80.0}, o, prev);
   o = obs_with_epi({0.5, 1.5});
-  prev = policy.provision(80.0, o, prev);
+  prev = policy.provision(units::Watts{80.0}, o, prev);
   EXPECT_LT(policy.level_targets()[0], policy.level_targets()[1]);
   EXPECT_LT(prev[0], prev[1]);
 }

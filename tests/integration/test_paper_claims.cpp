@@ -157,7 +157,7 @@ TEST(PaperClaims, ThermalPolicyPreventsHotspotViolations) {
   ThermalConstraintTracker audit(cons, 8);
   std::size_t violations = 0;
   for (const auto& g : res.gpm_records) {
-    if (audit.record(g.island_alloc_w, res.budget_w)) ++violations;
+    if (audit.record(g.island_alloc_w, units::Watts{res.budget_w})) ++violations;
   }
   EXPECT_EQ(violations, 0u);
 }

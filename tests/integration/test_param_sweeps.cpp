@@ -12,6 +12,7 @@
 #include "sim/cache.h"
 #include "sim/dvfs.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace cpm {
 namespace {
@@ -70,7 +71,7 @@ class PidDesignSweep
 TEST_P(PidDesignSweep, AlgebraMatchesSimulation) {
   const auto [kp, ki, a] = GetParam();
   const control::PidGains gains{kp, ki, 0.3};
-  const auto cl = control::cpm_closed_loop(a, gains);
+  const auto cl = control::cpm_closed_loop(units::PercentPerGhz{a}, gains);
   const bool stable_roots = control::analyze_stability(cl).stable;
   const bool stable_jury = control::jury_stable(cl.denominator());
   EXPECT_EQ(stable_roots, stable_jury);
@@ -107,7 +108,7 @@ TEST_P(DvfsRequestSweep, NearestLevelMinimizesError) {
   const double request = GetParam();
   const sim::DvfsTable& table = sim::DvfsTable::pentium_m();
   sim::DvfsActuator act(table, 0, 0.005, 0.5e-3);
-  act.request_frequency(request);
+  act.request_frequency(units::GigaHertz{request});
   const double chosen = act.operating_point().freq_ghz;
   for (std::size_t l = 0; l < table.num_levels(); ++l) {
     EXPECT_LE(std::abs(chosen - request),

@@ -32,8 +32,8 @@ TEST(Simulation, CalibrationProducesPlausibleModels) {
     // Plant gain: raising frequency raises power.
     EXPECT_GT(cal.plant_gains[i], 0.0) << "island " << i;
   }
-  EXPECT_GT(sim.max_chip_power_w(), 0.0);
-  EXPECT_NEAR(sim.budget_w(), 0.8 * sim.max_chip_power_w(), 1e-9);
+  EXPECT_GT(sim.max_chip_power().value(), 0.0);
+  EXPECT_NEAR(sim.budget().value(), 0.8 * sim.max_chip_power().value(), 1e-9);
 }
 
 TEST(Simulation, LevelScaleIsMonotoneAndNormalized) {

@@ -1,4 +1,5 @@
 #include "power/dynamic.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -12,27 +13,27 @@ TEST(Dynamic, RejectsNonPositiveCeff) {
 
 TEST(Dynamic, ScalesWithVSquaredF) {
   DynamicPowerModel m(3.5);
-  const double base = m.watts(1.0, 1.0, 1.0, 1.0, 0.1, 1.0);
-  EXPECT_DOUBLE_EQ(m.watts(2.0, 1.0, 1.0, 1.0, 0.1, 1.0), base * 4.0);
-  EXPECT_DOUBLE_EQ(m.watts(1.0, 2.0, 1.0, 1.0, 0.1, 1.0), base * 2.0);
-  EXPECT_DOUBLE_EQ(m.watts(2.0, 2.0, 1.0, 1.0, 0.1, 1.0), base * 8.0);
+  const double base = m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.0, 1.0, 0.1, 1.0).value();
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{2.0}, units::GigaHertz{1.0}, 1.0, 1.0, 0.1, 1.0).value(), base * 4.0);
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{1.0}, units::GigaHertz{2.0}, 1.0, 1.0, 0.1, 1.0).value(), base * 2.0);
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{2.0}, units::GigaHertz{2.0}, 1.0, 1.0, 0.1, 1.0).value(), base * 8.0);
 }
 
 TEST(Dynamic, CubeLawOverDvfsRange) {
   // With V affine in f (as in the Pentium-M table), P ~ f^3-ish: power at
   // 2 GHz should be well over 4x power at 1 GHz.
   DynamicPowerModel m(3.5);
-  const double low = m.watts(1.02, 1.0, 1.0, 1.0, 0.1, 1.0);
-  const double high = m.watts(1.26, 2.0, 1.0, 1.0, 0.1, 1.0);
+  const double low = m.power(units::Volts{1.02}, units::GigaHertz{1.0}, 1.0, 1.0, 0.1, 1.0).value();
+  const double high = m.power(units::Volts{1.26}, units::GigaHertz{2.0}, 1.0, 1.0, 0.1, 1.0).value();
   EXPECT_GT(high / low, 2.5);
   EXPECT_LT(high / low, 4.0);
 }
 
 TEST(Dynamic, LinearInUtilization) {
   DynamicPowerModel m(1.0);
-  const double p0 = m.watts(1.0, 1.0, 0.0, 0.8, 0.1, 1.0);
-  const double p50 = m.watts(1.0, 1.0, 0.5, 0.8, 0.1, 1.0);
-  const double p100 = m.watts(1.0, 1.0, 1.0, 0.8, 0.1, 1.0);
+  const double p0 = m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 0.0, 0.8, 0.1, 1.0).value();
+  const double p50 = m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 0.5, 0.8, 0.1, 1.0).value();
+  const double p100 = m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.0, 0.8, 0.1, 1.0).value();
   EXPECT_NEAR(p50, (p0 + p100) / 2.0, 1e-12);
   EXPECT_GT(p100, p0);
 }
@@ -40,15 +41,15 @@ TEST(Dynamic, LinearInUtilization) {
 TEST(Dynamic, ClockGatedIdleFloor) {
   // Fully stalled core still draws the idle-activity share (cc3 gating).
   DynamicPowerModel m(2.0);
-  const double idle = m.watts(1.0, 1.0, 0.0, 0.9, 0.1, 1.0);
+  const double idle = m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 0.0, 0.9, 0.1, 1.0).value();
   EXPECT_DOUBLE_EQ(idle, 2.0 * 0.1);
 }
 
 TEST(Dynamic, UtilizationClamped) {
   DynamicPowerModel m(1.0);
-  EXPECT_DOUBLE_EQ(m.watts(1.0, 1.0, 1.5, 1.0, 0.0, 1.0),
-                   m.watts(1.0, 1.0, 1.0, 1.0, 0.0, 1.0));
-  EXPECT_DOUBLE_EQ(m.watts(1.0, 1.0, -0.5, 1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.5, 1.0, 0.0, 1.0).value(),
+                   m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.0, 1.0, 0.0, 1.0).value());
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{1.0}, units::GigaHertz{1.0}, -0.5, 1.0, 0.0, 1.0).value(), 0.0);
 }
 
 TEST(Dynamic, CoreWattsUsesTickFields) {
@@ -59,14 +60,14 @@ TEST(Dynamic, CoreWattsUsesTickFields) {
   tick.activity_idle = 0.2;
   tick.ceff_scale = 1.5;
   const sim::DvfsPoint op{1.1, 1.4};
-  EXPECT_DOUBLE_EQ(m.core_watts(tick, op),
-                   m.watts(1.1, 1.4, 0.5, 0.8, 0.2, 1.5));
+  EXPECT_DOUBLE_EQ(m.core_power(tick, op).value(),
+                   m.power(units::Volts{1.1}, units::GigaHertz{1.4}, 0.5, 0.8, 0.2, 1.5).value());
 }
 
 TEST(Dynamic, CeffScaleMultiplies) {
   DynamicPowerModel m(1.0);
-  EXPECT_DOUBLE_EQ(m.watts(1.0, 1.0, 1.0, 1.0, 0.1, 2.0),
-                   2.0 * m.watts(1.0, 1.0, 1.0, 1.0, 0.1, 1.0));
+  EXPECT_DOUBLE_EQ(m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.0, 1.0, 0.1, 2.0).value(),
+                   2.0 * m.power(units::Volts{1.0}, units::GigaHertz{1.0}, 1.0, 1.0, 0.1, 1.0).value());
 }
 
 }  // namespace

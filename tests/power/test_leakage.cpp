@@ -1,4 +1,5 @@
 #include "power/leakage.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -8,41 +9,41 @@ namespace cpm::power {
 namespace {
 
 TEST(Leakage, RejectsNegativeDesignConstant) {
-  EXPECT_THROW(LeakageModel(-1.0, 0.01, 55.0), std::invalid_argument);
+  EXPECT_THROW(LeakageModel(units::WattsPerVolt{-1.0}, 0.01, 55.0), std::invalid_argument);
 }
 
 TEST(Leakage, LinearInVoltage) {
-  LeakageModel m(1.2, 0.012, 55.0);
-  const double p1 = m.core_watts(1.0, 55.0);
-  const double p2 = m.core_watts(2.0, 55.0);
+  LeakageModel m(units::WattsPerVolt{1.2}, 0.012, 55.0);
+  const double p1 = m.core_power(units::Volts{1.0}, 55.0).value();
+  const double p2 = m.core_power(units::Volts{2.0}, 55.0).value();
   EXPECT_DOUBLE_EQ(p2, 2.0 * p1);
 }
 
 TEST(Leakage, ReferenceTemperatureIsNeutral) {
-  LeakageModel m(1.2, 0.012, 55.0);
-  EXPECT_DOUBLE_EQ(m.core_watts(1.0, 55.0), 1.2);
+  LeakageModel m(units::WattsPerVolt{1.2}, 0.012, 55.0);
+  EXPECT_DOUBLE_EQ(m.core_power(units::Volts{1.0}, 55.0).value(), 1.2);
 }
 
 TEST(Leakage, IncreasesExponentiallyWithTemperature) {
-  LeakageModel m(1.0, 0.02, 50.0);
-  const double p50 = m.core_watts(1.0, 50.0);
-  const double p75 = m.core_watts(1.0, 75.0);
-  const double p100 = m.core_watts(1.0, 100.0);
+  LeakageModel m(units::WattsPerVolt{1.0}, 0.02, 50.0);
+  const double p50 = m.core_power(units::Volts{1.0}, 50.0).value();
+  const double p75 = m.core_power(units::Volts{1.0}, 75.0).value();
+  const double p100 = m.core_power(units::Volts{1.0}, 100.0).value();
   EXPECT_NEAR(p75 / p50, std::exp(0.02 * 25.0), 1e-12);
   EXPECT_NEAR(p100 / p75, p75 / p50, 1e-12);  // constant ratio per 25 C
 }
 
 TEST(Leakage, ProcessVariationMultiplier) {
   // Sec. IV-B: islands leak at 1.2x/1.5x/2.0x of the least leaky island.
-  LeakageModel m(1.0, 0.012, 55.0);
-  const double base = m.core_watts(1.1, 60.0, 1.0);
-  EXPECT_DOUBLE_EQ(m.core_watts(1.1, 60.0, 1.5), 1.5 * base);
-  EXPECT_DOUBLE_EQ(m.core_watts(1.1, 60.0, 2.0), 2.0 * base);
+  LeakageModel m(units::WattsPerVolt{1.0}, 0.012, 55.0);
+  const double base = m.core_power(units::Volts{1.1}, 60.0, 1.0).value();
+  EXPECT_DOUBLE_EQ(m.core_power(units::Volts{1.1}, 60.0, 1.5).value(), 1.5 * base);
+  EXPECT_DOUBLE_EQ(m.core_power(units::Volts{1.1}, 60.0, 2.0).value(), 2.0 * base);
 }
 
 TEST(Leakage, CoolerThanReferenceReducesLeakage) {
-  LeakageModel m(1.0, 0.012, 55.0);
-  EXPECT_LT(m.core_watts(1.0, 45.0), 1.0);
+  LeakageModel m(units::WattsPerVolt{1.0}, 0.012, 55.0);
+  EXPECT_LT(m.core_power(units::Volts{1.0}, 45.0).value(), 1.0);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "workload/mixes.h"
+#include "util/units.h"
 
 namespace cpm::power {
 namespace {
@@ -77,7 +78,7 @@ TEST(PowerModel, IslandPowerRequiresTemps) {
 
 TEST(PowerModel, MaxChipPowerBoundsTypicalDraw) {
   PowerModel m(default_cfg());
-  const double max_w = m.max_chip_power_w(workload::mix1());
+  const double max_w = m.max_chip_power(workload::mix1()).value();
   EXPECT_GT(max_w, 0.0);
   // A busy-but-not-max tick at top level must stay below the bound.
   const sim::DvfsPoint top{1.26, 2.0};
@@ -91,8 +92,8 @@ TEST(PowerModel, MaxChipPowerBoundsTypicalDraw) {
 TEST(PowerModel, MaxChipPowerScalesWithCores) {
   PowerModel m8(default_cfg());
   PowerModel m16(sim::CmpConfig::scale_16core());
-  const double w8 = m8.max_chip_power_w(workload::mix1());
-  const double w16 = m16.max_chip_power_w(workload::mix3(1));
+  const double w8 = m8.max_chip_power(workload::mix1()).value();
+  const double w16 = m16.max_chip_power(workload::mix3(1)).value();
   EXPECT_GT(w16, w8 * 1.5);
 }
 

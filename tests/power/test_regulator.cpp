@@ -1,4 +1,5 @@
 #include "power/regulator.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -21,38 +22,38 @@ TEST(Regulator, RejectsNonPhysicalConfig) {
 TEST(Regulator, EfficiencyCalibratedAtDesignLoad) {
   RegulatorConfig cfg;
   RegulatorModel reg(cfg);
-  EXPECT_NEAR(reg.efficiency(cfg.design_load_w), cfg.peak_efficiency, 1e-9);
+  EXPECT_NEAR(reg.efficiency(units::Watts{cfg.design_load_w}), cfg.peak_efficiency, 1e-9);
 }
 
 TEST(Regulator, LightLoadEfficiencyIsPoor) {
   RegulatorModel reg{RegulatorConfig{}};
   const double design = reg.config().design_load_w;
-  EXPECT_LT(reg.efficiency(design * 0.05), reg.efficiency(design) * 0.7);
-  EXPECT_DOUBLE_EQ(reg.efficiency(0.0), 0.0);
+  EXPECT_LT(reg.efficiency(units::Watts{design * 0.05}), reg.efficiency(units::Watts{design}) * 0.7);
+  EXPECT_DOUBLE_EQ(reg.efficiency(units::Watts{0.0}), 0.0);
 }
 
 TEST(Regulator, OverloadEfficiencySags) {
   RegulatorModel reg{RegulatorConfig{}};
   const double design = reg.config().design_load_w;
-  EXPECT_LT(reg.efficiency(design * 3.0), reg.efficiency(design));
+  EXPECT_LT(reg.efficiency(units::Watts{design * 3.0}), reg.efficiency(units::Watts{design}));
 }
 
 TEST(Regulator, InputEqualsLoadPlusLoss) {
   RegulatorModel reg{RegulatorConfig{}};
   for (const double load : {1.0, 8.0, 15.0, 25.0}) {
-    EXPECT_NEAR(reg.input_power_w(load), load + reg.loss_w(load), 1e-12);
+    EXPECT_NEAR(reg.input_power(units::Watts{load}).value(), load + reg.loss(units::Watts{load}).value(), 1e-12);
   }
 }
 
 TEST(Regulator, AreaGrowsWithDesignLoad) {
   RegulatorModel reg{RegulatorConfig{}};
-  EXPECT_GT(reg.area_mm2(30.0), reg.area_mm2(10.0));
-  EXPECT_GT(reg.area_mm2(0.0), 0.0);  // control floor
+  EXPECT_GT(reg.area_mm2(units::Watts{30.0}), reg.area_mm2(units::Watts{10.0}));
+  EXPECT_GT(reg.area_mm2(units::Watts{0.0}), 0.0);  // control floor
 }
 
 TEST(GranularityCost, DomainsComputed) {
-  const GranularityCost per_core = dvfs_granularity_cost(32, 1, 2.0, 3.0);
-  const GranularityCost per_island = dvfs_granularity_cost(32, 4, 2.0, 3.0);
+  const GranularityCost per_core = dvfs_granularity_cost(32, 1, units::Watts{2.0}, units::Watts{3.0});
+  const GranularityCost per_island = dvfs_granularity_cost(32, 4, units::Watts{2.0}, units::Watts{3.0});
   EXPECT_EQ(per_core.domains, 32u);
   EXPECT_EQ(per_island.domains, 8u);
   EXPECT_DOUBLE_EQ(per_core.delivered_w, 64.0);
@@ -63,8 +64,8 @@ TEST(GranularityCost, PerCoreRegulationCostsMore) {
   // The paper's Sec. II-B argument, quantified: per-core domains pay more
   // regulator loss and more area than per-island domains at the same
   // delivered power.
-  const GranularityCost per_core = dvfs_granularity_cost(32, 1, 2.0, 3.0);
-  const GranularityCost island4 = dvfs_granularity_cost(32, 4, 2.0, 3.0);
+  const GranularityCost per_core = dvfs_granularity_cost(32, 1, units::Watts{2.0}, units::Watts{3.0});
+  const GranularityCost island4 = dvfs_granularity_cost(32, 4, units::Watts{2.0}, units::Watts{3.0});
   EXPECT_GT(per_core.regulator_loss_w, island4.regulator_loss_w);
   EXPECT_GT(per_core.regulator_area_mm2, island4.regulator_area_mm2 * 1.5);
   EXPECT_GT(per_core.overhead_fraction, island4.overhead_fraction);
@@ -73,15 +74,15 @@ TEST(GranularityCost, PerCoreRegulationCostsMore) {
 TEST(GranularityCost, OverheadMonotoneInGranularity) {
   double prev = 1e9;
   for (const std::size_t cpd : {1ul, 2ul, 4ul, 8ul}) {
-    const GranularityCost c = dvfs_granularity_cost(32, cpd, 2.0, 3.0);
+    const GranularityCost c = dvfs_granularity_cost(32, cpd, units::Watts{2.0}, units::Watts{3.0});
     EXPECT_LE(c.overhead_fraction, prev + 1e-12) << cpd;
     prev = c.overhead_fraction;
   }
 }
 
 TEST(GranularityCost, RejectsZeroCores) {
-  EXPECT_THROW(dvfs_granularity_cost(0, 1, 1.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(dvfs_granularity_cost(8, 0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(dvfs_granularity_cost(0, 1, units::Watts{1.0}, units::Watts{1.0}), std::invalid_argument);
+  EXPECT_THROW(dvfs_granularity_cost(8, 0, units::Watts{1.0}, units::Watts{1.0}), std::invalid_argument);
 }
 
 }  // namespace

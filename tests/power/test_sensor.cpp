@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace cpm::power {
 namespace {
@@ -22,7 +23,7 @@ TEST(Transducer, RecoversLinearModel) {
   EXPECT_NEAR(m.k1, 3.2, 0.1);
   EXPECT_NEAR(m.k0, 1.5, 0.1);
   EXPECT_GT(m.r_squared, 0.95);
-  EXPECT_NEAR(m.estimate_watts(0.5), 3.1, 0.1);
+  EXPECT_NEAR(m.estimate(0.5).value(), 3.1, 0.1);
 }
 
 TEST(Transducer, ExactFitOnNoiselessData) {
@@ -36,8 +37,8 @@ TEST(Transducer, ExactFitOnNoiselessData) {
 TEST(Adaptive, FallsBackToInitialUntilPrimed) {
   TransducerModel init{2.0, 1.0, 0.9};
   AdaptiveTransducer a(init);
-  EXPECT_DOUBLE_EQ(a.estimate_watts(0.5), 2.0);  // 2*0.5 + 1
-  a.observe(0.5, 3.0);
+  EXPECT_DOUBLE_EQ(a.estimate(0.5).value(), 2.0);  // 2*0.5 + 1
+  a.observe(0.5, units::Watts{3.0});
   EXPECT_DOUBLE_EQ(a.model().k1, 2.0);  // one sample: still initial slope
 }
 
@@ -46,7 +47,7 @@ TEST(Adaptive, ConvergesToObservedRelation) {
   util::Xoshiro256pp rng(2);
   for (int i = 0; i < 400; ++i) {
     const double u = rng.uniform(0.1, 0.9);
-    a.observe(u, 4.0 * u + 0.5);
+    a.observe(u, units::Watts{4.0 * u + 0.5});
   }
   EXPECT_NEAR(a.model().k1, 4.0, 0.05);
   EXPECT_NEAR(a.model().k0, 0.5, 0.05);
@@ -58,12 +59,12 @@ TEST(Adaptive, TracksDriftWithForgetting) {
   util::Xoshiro256pp rng(3);
   for (int i = 0; i < 300; ++i) {
     const double u = rng.uniform(0.1, 0.9);
-    a.observe(u, 2.0 * u + 1.0);
+    a.observe(u, units::Watts{2.0 * u + 1.0});
   }
   EXPECT_NEAR(a.model().k1, 2.0, 0.1);
   for (int i = 0; i < 300; ++i) {
     const double u = rng.uniform(0.1, 0.9);
-    a.observe(u, 5.0 * u + 0.2);  // relation changes
+    a.observe(u, units::Watts{5.0 * u + 0.2});  // relation changes
   }
   EXPECT_NEAR(a.model().k1, 5.0, 0.2);
 }
@@ -73,10 +74,10 @@ TEST(Adaptive, DegenerateSpreadKeepsPriorSlope) {
   // prior slope is kept and only the intercept follows the data.
   TransducerModel init{3.0, 0.0, 0.9};
   AdaptiveTransducer a(init, 1.0);
-  for (int i = 0; i < 50; ++i) a.observe(0.5, 4.0);
+  for (int i = 0; i < 50; ++i) a.observe(0.5, units::Watts{4.0});
   const TransducerModel m = a.model();
   EXPECT_DOUBLE_EQ(m.k1, 3.0);
-  EXPECT_NEAR(m.estimate_watts(0.5), 4.0, 1e-9);
+  EXPECT_NEAR(m.estimate(0.5).value(), 4.0, 1e-9);
 }
 
 TEST(Adaptive, NearConstantUtilizationKeepsPriorSlope) {
@@ -90,12 +91,12 @@ TEST(Adaptive, NearConstantUtilizationKeepsPriorSlope) {
   AdaptiveTransducer a(init, 0.9);
   for (int i = 0; i < 200; ++i) {
     const double s = (i % 2 == 0) ? 1.0 : -1.0;
-    a.observe(0.5 + s * 3e-5, 6.0 + s * 1e-4);
+    a.observe(0.5 + s * 3e-5, units::Watts{6.0 + s * 1e-4});
   }
   const TransducerModel m = a.model();
   EXPECT_DOUBLE_EQ(m.k1, 10.0);       // prior slope kept
   EXPECT_NEAR(m.k0, 1.0, 1e-3);       // intercept refreshed around 6 W @ 0.5
-  EXPECT_NEAR(m.estimate_watts(0.5), 6.0, 1e-3);
+  EXPECT_NEAR(m.estimate(0.5).value(), 6.0, 1e-3);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ workload::InstructionMix mem_heavy() { return {0.25, 0.05, 0.45, 0.15, 0.1}; }
 
 TEST(Structures, BreakdownCoversAllUnits) {
   StructuralPowerModel m(cfg());
-  const auto units = m.breakdown(fp_heavy(), 0.8, 1.1, 1.6);
+  const auto units = m.breakdown(fp_heavy(), 0.8, units::Volts{1.1}, units::GigaHertz{1.6});
   EXPECT_EQ(units.size(), static_cast<std::size_t>(Unit::kCount));
   double share = 0.0;
   for (const auto& u : units) {
@@ -25,9 +25,9 @@ TEST(Structures, BreakdownCoversAllUnits) {
 
 TEST(Structures, TotalScalesWithV2F) {
   StructuralPowerModel m(cfg());
-  const double base = m.total_watts(int_heavy(), 0.8, 1.0, 1.0);
-  EXPECT_NEAR(m.total_watts(int_heavy(), 0.8, 2.0, 1.0), 4.0 * base, 1e-9);
-  EXPECT_NEAR(m.total_watts(int_heavy(), 0.8, 1.0, 2.0), 2.0 * base, 1e-9);
+  const double base = m.total_power(int_heavy(), 0.8, units::Volts{1.0}, units::GigaHertz{1.0}).value();
+  EXPECT_NEAR(m.total_power(int_heavy(), 0.8, units::Volts{2.0}, units::GigaHertz{1.0}).value(), 4.0 * base, 1e-9);
+  EXPECT_NEAR(m.total_power(int_heavy(), 0.8, units::Volts{1.0}, units::GigaHertz{2.0}).value(), 2.0 * base, 1e-9);
 }
 
 TEST(Structures, NormalizedToAggregateModelAtFullActivity) {
@@ -35,14 +35,14 @@ TEST(Structures, NormalizedToAggregateModelAtFullActivity) {
   // act = 1 for all units), the total must equal ceff_base * V^2 f.
   StructuralPowerModel m(cfg());
   const double v = 1.26, f = 2.0;
-  const double total = m.total_watts(fp_heavy(), 1.0, v, f, /*idle=*/1.0);
+  const double total = m.total_power(fp_heavy(), 1.0, units::Volts{v}, units::GigaHertz{f}, /*idle=*/1.0).value();
   EXPECT_NEAR(total, cfg().ceff_base_w_per_v2ghz * v * v * f, 1e-9);
 }
 
 TEST(Structures, FpCodeBurnsMoreFpAluPower) {
   StructuralPowerModel m(cfg());
-  auto fp_units = m.breakdown(fp_heavy(), 0.9, 1.1, 1.6);
-  auto int_units = m.breakdown(int_heavy(), 0.9, 1.1, 1.6);
+  auto fp_units = m.breakdown(fp_heavy(), 0.9, units::Volts{1.1}, units::GigaHertz{1.6});
+  auto int_units = m.breakdown(int_heavy(), 0.9, units::Volts{1.1}, units::GigaHertz{1.6});
   const auto fp_share = fp_units[static_cast<std::size_t>(Unit::kFpAlu)].share;
   const auto int_share =
       int_units[static_cast<std::size_t>(Unit::kFpAlu)].share;
@@ -51,16 +51,16 @@ TEST(Structures, FpCodeBurnsMoreFpAluPower) {
 
 TEST(Structures, MemoryCodeStressesDCache) {
   StructuralPowerModel m(cfg());
-  auto mem_units = m.breakdown(mem_heavy(), 0.9, 1.1, 1.6);
-  auto int_units = m.breakdown(int_heavy(), 0.9, 1.1, 1.6);
+  auto mem_units = m.breakdown(mem_heavy(), 0.9, units::Volts{1.1}, units::GigaHertz{1.6});
+  auto int_units = m.breakdown(int_heavy(), 0.9, units::Volts{1.1}, units::GigaHertz{1.6});
   EXPECT_GT(mem_units[static_cast<std::size_t>(Unit::kDCache)].watts,
             int_units[static_cast<std::size_t>(Unit::kDCache)].watts);
 }
 
 TEST(Structures, IdleCoreDrawsIdleFactor) {
   StructuralPowerModel m(cfg());
-  const double active = m.total_watts(int_heavy(), 1.0, 1.1, 1.6, 0.1);
-  const double idle = m.total_watts(int_heavy(), 0.0, 1.1, 1.6, 0.1);
+  const double active = m.total_power(int_heavy(), 1.0, units::Volts{1.1}, units::GigaHertz{1.6}, 0.1).value();
+  const double idle = m.total_power(int_heavy(), 0.0, units::Volts{1.1}, units::GigaHertz{1.6}, 0.1).value();
   EXPECT_LT(idle, active);
   // Fully stalled: every unit at the gated floor.
   const double v2f = 1.1 * 1.1 * 1.6;
@@ -86,7 +86,7 @@ TEST(Structures, WiderMachineBurnsMoreSchedulerPower) {
 
 TEST(Structures, ClockTreeIsLargestAlwaysOnConsumer) {
   StructuralPowerModel m(cfg());
-  const auto units = m.breakdown(int_heavy(), 0.0, 1.1, 1.6, 0.1);
+  const auto units = m.breakdown(int_heavy(), 0.0, units::Volts{1.1}, units::GigaHertz{1.6}, 0.1);
   // At idle, every unit sits at the same gated fraction of its ceff, so the
   // clock tree (largest ceff by construction) dominates.
   double clock_w = 0.0, max_other = 0.0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace cpm::sim {
 namespace {
@@ -106,17 +107,17 @@ TEST(Hierarchy, LatencyLadder) {
   MemoryHierarchy::Config cfg;
   MemoryHierarchy h(cfg);
   // Cold: full ladder (1 + 12 + 100ns * 2GHz = 213 cycles at 2 GHz).
-  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, 2.0), 1 + 12 + 200);
+  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, units::GigaHertz{2.0}), 1 + 12 + 200);
   // L1 hit.
-  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, 2.0), 1);
+  EXPECT_DOUBLE_EQ(h.access_cycles(0x10000, false, units::GigaHertz{2.0}), 1);
   EXPECT_EQ(h.memory_accesses(), 1u);
 }
 
 TEST(Hierarchy, MemoryCyclesScaleWithFrequency) {
   MemoryHierarchy::Config cfg;
   MemoryHierarchy slow(cfg), fast(cfg);
-  const double at_06 = slow.access_cycles(0x20000, false, 0.6);
-  const double at_20 = fast.access_cycles(0x20000, false, 2.0);
+  const double at_06 = slow.access_cycles(0x20000, false, units::GigaHertz{0.6});
+  const double at_20 = fast.access_cycles(0x20000, false, units::GigaHertz{2.0});
   // Same wall-clock memory latency costs fewer cycles at a lower clock.
   EXPECT_LT(at_06, at_20);
   EXPECT_DOUBLE_EQ(at_06, 1 + 12 + 100.0 * 0.6);
@@ -128,13 +129,13 @@ TEST(Hierarchy, L2CatchesL1Victims) {
   // Working set of 64 KB: misses L1 (16 KB) but fits L2 (512 KB).
   for (int pass = 0; pass < 2; ++pass) {
     for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
-      h.access_cycles(a, false, 2.0);
+      h.access_cycles(a, false, units::GigaHertz{2.0});
     }
   }
   // Second pass should not have gone to memory.
   const std::uint64_t mem_after_warm = h.memory_accesses();
   for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
-    h.access_cycles(a, false, 2.0);
+    h.access_cycles(a, false, units::GigaHertz{2.0});
   }
   EXPECT_EQ(h.memory_accesses(), mem_after_warm);
 }
@@ -146,8 +147,8 @@ TEST(Hierarchy, StreamPrefetcherCutsStreamingMemoryTraffic) {
   MemoryHierarchy pf(with_pf), nopf(without_pf);
   // Stream 1 MB at sub-line stride (8 accesses per line).
   for (std::uint64_t a = 0; a < 1024 * 1024; a += 8) {
-    pf.access_cycles(a, false, 2.0);
-    nopf.access_cycles(a, false, 2.0);
+    pf.access_cycles(a, false, units::GigaHertz{2.0});
+    nopf.access_cycles(a, false, units::GigaHertz{2.0});
   }
   EXPECT_LT(pf.memory_accesses(), nopf.memory_accesses() / 4);
   EXPECT_GT(pf.prefetches(), 0u);
@@ -158,7 +159,7 @@ TEST(Hierarchy, PrefetcherDoesNotHelpRandomAccess) {
   MemoryHierarchy h(cfg);
   cpm::util::Xoshiro256pp rng(1);
   for (int i = 0; i < 20000; ++i) {
-    h.access_cycles(rng.uniform_int(64 * 1024 * 1024) & ~63ULL, false, 2.0);
+    h.access_cycles(rng.uniform_int(64 * 1024 * 1024) & ~63ULL, false, units::GigaHertz{2.0});
   }
   // Practically no sequential pairs in a random stream.
   EXPECT_LT(static_cast<double>(h.prefetches()), 20000 * 0.01);

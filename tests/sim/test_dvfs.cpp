@@ -1,4 +1,5 @@
 #include "sim/dvfs.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -8,8 +9,8 @@ namespace {
 TEST(DvfsTable, PentiumMHasEightLevels) {
   const DvfsTable& t = DvfsTable::pentium_m();
   EXPECT_EQ(t.num_levels(), 8u);  // Table I: 8 V/f pairs
-  EXPECT_DOUBLE_EQ(t.min_freq(), 0.6);
-  EXPECT_DOUBLE_EQ(t.max_freq(), 2.0);
+  EXPECT_DOUBLE_EQ(t.min_freq().value(), 0.6);
+  EXPECT_DOUBLE_EQ(t.max_freq().value(), 2.0);
 }
 
 TEST(DvfsTable, MonotoneVoltageAndFrequency) {
@@ -32,24 +33,24 @@ TEST(DvfsTable, RejectsEmpty) {
 
 TEST(DvfsTable, NearestLevel) {
   const DvfsTable& t = DvfsTable::pentium_m();
-  EXPECT_EQ(t.nearest_level(0.0), 0u);
-  EXPECT_EQ(t.nearest_level(0.69), 0u);   // closer to 0.6 than 0.8
-  EXPECT_EQ(t.nearest_level(0.75), 1u);
-  EXPECT_EQ(t.nearest_level(1.95), 7u);
-  EXPECT_EQ(t.nearest_level(99.0), 7u);
+  EXPECT_EQ(t.nearest_level(units::GigaHertz{0.0}), 0u);
+  EXPECT_EQ(t.nearest_level(units::GigaHertz{0.69}), 0u);   // closer to 0.6 than 0.8
+  EXPECT_EQ(t.nearest_level(units::GigaHertz{0.75}), 1u);
+  EXPECT_EQ(t.nearest_level(units::GigaHertz{1.95}), 7u);
+  EXPECT_EQ(t.nearest_level(units::GigaHertz{99.0}), 7u);
 }
 
 TEST(DvfsTable, FloorLevel) {
   const DvfsTable& t = DvfsTable::pentium_m();
-  EXPECT_EQ(t.floor_level(0.3), 0u);  // below range -> lowest
-  EXPECT_EQ(t.floor_level(0.99), 1u);
-  EXPECT_EQ(t.floor_level(1.0), 2u);
-  EXPECT_EQ(t.floor_level(5.0), 7u);
+  EXPECT_EQ(t.floor_level(units::GigaHertz{0.3}), 0u);  // below range -> lowest
+  EXPECT_EQ(t.floor_level(units::GigaHertz{0.99}), 1u);
+  EXPECT_EQ(t.floor_level(units::GigaHertz{1.0}), 2u);
+  EXPECT_EQ(t.floor_level(units::GigaHertz{5.0}), 7u);
 }
 
 TEST(Actuator, QuantizesRequests) {
   DvfsActuator a(DvfsTable::pentium_m(), 7, 0.005, 0.5e-3);
-  EXPECT_TRUE(a.request_frequency(1.3));  // nearest level 1.2 or 1.4
+  EXPECT_TRUE(a.request_frequency(units::GigaHertz{1.3}));  // nearest level 1.2 or 1.4
   const double f = a.operating_point().freq_ghz;
   EXPECT_TRUE(f == 1.2 || f == 1.4);
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "workload/profile.h"
+#include "util/units.h"
 
 namespace cpm::sim {
 namespace {
@@ -10,8 +11,8 @@ namespace {
 PipelineRunStats measure(const char* name, double freq_ghz,
                          std::uint64_t cycles = 400000) {
   PipelineCore core(PipelineConfig{}, workload::micro_behavior(name), 42);
-  core.run_cycles(100000, freq_ghz);  // cache warmup
-  return core.run_cycles(cycles, freq_ghz);
+  core.run_cycles(100000, units::GigaHertz{freq_ghz});  // cache warmup
+  return core.run_cycles(cycles, units::GigaHertz{freq_ghz});
 }
 
 TEST(Pipeline, CpiAboveCommitWidthFloor) {
@@ -53,8 +54,8 @@ TEST(Pipeline, UtilizationDropsWithFrequencyForMemoryBound) {
 TEST(Pipeline, Deterministic) {
   PipelineCore a(PipelineConfig{}, workload::micro_behavior("x264"), 7);
   PipelineCore b(PipelineConfig{}, workload::micro_behavior("x264"), 7);
-  const PipelineRunStats sa = a.run_cycles(100000, 1.4);
-  const PipelineRunStats sb = b.run_cycles(100000, 1.4);
+  const PipelineRunStats sa = a.run_cycles(100000, units::GigaHertz{1.4});
+  const PipelineRunStats sb = b.run_cycles(100000, units::GigaHertz{1.4});
   EXPECT_DOUBLE_EQ(sa.instructions, sb.instructions);
   EXPECT_DOUBLE_EQ(sa.commit_busy_cycles, sb.commit_busy_cycles);
 }
@@ -63,18 +64,18 @@ TEST(Pipeline, MispredictionsCauseFetchStalls) {
   // gcc has a 6 % mispredict rate and 15 % branches; fetch stalls must be a
   // visible share of cycles.
   PipelineCore core(PipelineConfig{}, workload::micro_behavior("gcc"), 3);
-  const PipelineRunStats s = core.run_cycles(200000, 2.0);
+  const PipelineRunStats s = core.run_cycles(200000, units::GigaHertz{2.0});
   EXPECT_GT(s.fetch_stall_cycles, s.cycles * 0.05);
   // sixtrack (1 % mispredicts, 3 % branches) stalls far less.
   PipelineCore quiet(PipelineConfig{}, workload::micro_behavior("sixtrack"), 3);
-  const PipelineRunStats q = quiet.run_cycles(200000, 2.0);
+  const PipelineRunStats q = quiet.run_cycles(200000, units::GigaHertz{2.0});
   EXPECT_LT(q.fetch_stall_cycles, s.fetch_stall_cycles);
 }
 
 TEST(Pipeline, RobFillsUpUnderMemoryPressure) {
   PipelineCore core(PipelineConfig{}, workload::micro_behavior("canneal"), 5);
-  core.run_cycles(50000, 2.0);
-  const PipelineRunStats s = core.run_cycles(200000, 2.0);
+  core.run_cycles(50000, units::GigaHertz{2.0});
+  const PipelineRunStats s = core.run_cycles(200000, units::GigaHertz{2.0});
   EXPECT_GT(s.rob_full_cycles, 0.0);
 }
 
@@ -84,9 +85,9 @@ TEST(Pipeline, SmallerRobHurtsMemoryBoundCode) {
   small.rob_entries = 16;
   PipelineCore b(big, workload::micro_behavior("canneal"), 9);
   PipelineCore s(small, workload::micro_behavior("canneal"), 9);
-  b.run_cycles(50000, 2.0);
-  s.run_cycles(50000, 2.0);
-  EXPECT_GT(s.run_cycles(200000, 2.0).cpi(), b.run_cycles(200000, 2.0).cpi());
+  b.run_cycles(50000, units::GigaHertz{2.0});
+  s.run_cycles(50000, units::GigaHertz{2.0});
+  EXPECT_GT(s.run_cycles(200000, units::GigaHertz{2.0}).cpi(), b.run_cycles(200000, units::GigaHertz{2.0}).cpi());
 }
 
 TEST(Pipeline, WiderCommitHelpsComputeBoundCode) {
@@ -95,16 +96,16 @@ TEST(Pipeline, WiderCommitHelpsComputeBoundCode) {
   wide.issue_width = 4;
   PipelineCore n(narrow, workload::micro_behavior("sixtrack"), 11);
   PipelineCore w(wide, workload::micro_behavior("sixtrack"), 11);
-  n.run_cycles(50000, 2.0);
-  w.run_cycles(50000, 2.0);
-  EXPECT_LT(w.run_cycles(200000, 2.0).cpi(), n.run_cycles(200000, 2.0).cpi());
+  n.run_cycles(50000, units::GigaHertz{2.0});
+  w.run_cycles(50000, units::GigaHertz{2.0});
+  EXPECT_LT(w.run_cycles(200000, units::GigaHertz{2.0}).cpi(), n.run_cycles(200000, units::GigaHertz{2.0}).cpi());
 }
 
 TEST(Pipeline, HostilityRaisesCpi) {
   PipelineCore core(PipelineConfig{}, workload::micro_behavior("vips"), 13);
-  core.run_cycles(50000, 2.0);
-  const double nominal = core.run_cycles(150000, 2.0, 1.0).cpi();
-  const double hostile = core.run_cycles(150000, 2.0, 4.0).cpi();
+  core.run_cycles(50000, units::GigaHertz{2.0});
+  const double nominal = core.run_cycles(150000, units::GigaHertz{2.0}, 1.0).cpi();
+  const double hostile = core.run_cycles(150000, units::GigaHertz{2.0}, 4.0).cpi();
   EXPECT_GT(hostile, nominal);
 }
 

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: adding power to frequency is dimensionally meaningless.
+#include "util/units.h"
+int main() {
+  auto x = cpm::units::Watts{10.0} + cpm::units::GigaHertz{2.0};
+  (void)x;
+}

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: watts and gigahertz are distinct types, not typedefs.
+#include "util/units.h"
+int main() {
+  cpm::units::Watts w{10.0};
+  w = cpm::units::GigaHertz{2.0};
+}

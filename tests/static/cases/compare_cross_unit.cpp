@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: ordering across dimensions is meaningless.
+#include "util/units.h"
+int main() {
+  bool b = cpm::units::Watts{10.0} < cpm::units::GigaHertz{2.0};
+  (void)b;
+}

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: a raw double only enters the typed world explicitly.
+#include "util/units.h"
+int main() {
+  cpm::units::Watts w = 10.0;
+  (void)w;
+}

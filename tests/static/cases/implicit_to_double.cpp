@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: leaving the typed world requires .value().
+#include "util/units.h"
+int main() {
+  double d = cpm::units::Watts{10.0};
+  (void)d;
+}

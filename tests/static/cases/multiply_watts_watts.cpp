@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: W*W (watts-squared) is not a unit this codebase uses,
+// so it is not in the cross-dimension whitelist.
+#include "util/units.h"
+int main() {
+  auto x = cpm::units::Watts{2.0} * cpm::units::Watts{3.0};
+  (void)x;
+}

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: percentage points are not watts; converting between
+// the two requires an explicit scale (Percent::of).
+#include "util/units.h"
+void sink(cpm::units::Watts);
+int main() { sink(cpm::units::Percent{80.0}); }

@@ -1,0 +1,11 @@
+// MUST COMPILE: sanity check that the harness toolchain works -- if this
+// case fails, every "expected failure" above is meaningless.
+#include "util/units.h"
+using namespace cpm::units;
+using namespace cpm::units::literals;
+int main() {
+  const Watts p = 10.0_W + Percent{80}.of(2.5_W);
+  const GigaHertz f = p / (p / 2.0_GHz);
+  static_assert(cpm_loop_stable(0.79, 0.4, 0.4, 0.3));
+  return (p.value() > 0.0 && f.value() > 0.0) ? 0 : 1;
+}

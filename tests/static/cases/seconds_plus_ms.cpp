@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: seconds and milliseconds mix only via explicit
+// to_seconds()/to_milliseconds() -- the classic interval-scale bug.
+#include "util/units.h"
+int main() {
+  auto t = cpm::units::Seconds{1.0} + cpm::units::Milliseconds{500.0};
+  (void)t;
+}

@@ -1,0 +1,190 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "control/stability.h"
+
+namespace cpm::units {
+namespace {
+
+using namespace cpm::units::literals;
+
+// The whole point of the layer is that it costs nothing: every unit must be
+// a trivially copyable double-sized value type usable in constant
+// expressions.
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_copyable_v<GigaHertz>);
+static_assert(sizeof(GigaHertz) == sizeof(double));
+static_assert(sizeof(Percent) == sizeof(double));
+static_assert(!std::is_convertible_v<double, Watts>);  // explicit only
+static_assert(!std::is_convertible_v<Watts, double>);  // .value() only
+static_assert(!std::is_convertible_v<Watts, GigaHertz>);
+
+// Everything is constexpr: exercised here at compile time on top of the
+// runtime checks below.
+static_assert((1.5_W + 2.5_W).value() == 4.0);
+static_assert((Percent{80}.of(250.0_W)).value() == 200.0);
+static_assert((10.0_W / 2.0_GHz).value() == 5.0);
+static_assert(clamp(3.0_GHz, 0.6_GHz, 2.0_GHz) == 2.0_GHz);
+
+TEST(Units, SameDimensionArithmetic) {
+  EXPECT_DOUBLE_EQ((10.0_W + 2.5_W).value(), 12.5);
+  EXPECT_DOUBLE_EQ((10.0_W - 2.5_W).value(), 7.5);
+  EXPECT_DOUBLE_EQ((-(2.5_W)).value(), -2.5);
+  EXPECT_DOUBLE_EQ((3.0_W * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * 3.0_W).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0_W / 2.0).value(), 1.5);
+}
+
+TEST(Units, SameUnitRatioIsDimensionless) {
+  const double ratio = 30.0_W / 40.0_W;
+  EXPECT_DOUBLE_EQ(ratio, 0.75);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts p{10.0};
+  p += 5.0_W;
+  EXPECT_DOUBLE_EQ(p.value(), 15.0);
+  p -= 3.0_W;
+  EXPECT_DOUBLE_EQ(p.value(), 12.0);
+  p *= 2.0;
+  EXPECT_DOUBLE_EQ(p.value(), 24.0);
+  p /= 4.0;
+  EXPECT_DOUBLE_EQ(p.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_TRUE(1.0_GHz < 2.0_GHz);
+  EXPECT_TRUE(2.0_GHz <= 2.0_GHz);
+  EXPECT_TRUE(2.0_GHz == 2.0_GHz);
+  EXPECT_TRUE(2.0_GHz != 1.9_GHz);
+  EXPECT_TRUE(2.0_GHz > 1.0_GHz);
+  EXPECT_FALSE(1.0_GHz >= 2.0_GHz);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Percent{}.value(), 0.0);
+}
+
+TEST(Units, EnergyPowerTime) {
+  EXPECT_DOUBLE_EQ((10.0_W * 2.0_s).value(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0_s * 10.0_W).value(), 20.0);
+  // Milliseconds convert through seconds: 10 W for 500 ms is 5 J.
+  EXPECT_DOUBLE_EQ((10.0_W * 500.0_ms).value(), 5.0);
+  EXPECT_DOUBLE_EQ((20.0_J / 2.0_s).value(), 10.0);
+  EXPECT_DOUBLE_EQ((20.0_J / 10.0_W).value(), 2.0);
+}
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Seconds{1.5}.to_milliseconds().value(), 1500.0);
+  EXPECT_DOUBLE_EQ(Milliseconds{250.0}.to_seconds().value(), 0.25);
+  EXPECT_DOUBLE_EQ(
+      Seconds{0.125}.to_milliseconds().to_seconds().value(), 0.125);
+}
+
+TEST(Units, PowerFrequencyGain) {
+  const WattsPerGhz a = 10.0_W / 2.0_GHz;
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  EXPECT_DOUBLE_EQ((a * 1.5_GHz).value(), 7.5);
+  EXPECT_DOUBLE_EQ((1.5_GHz * a).value(), 7.5);
+  EXPECT_DOUBLE_EQ((10.0_W / a).value(), 2.0);
+}
+
+TEST(Units, PercentSemantics) {
+  // 80_pct stores percentage points, not a fraction.
+  EXPECT_DOUBLE_EQ((80.0_pct).value(), 80.0);
+  EXPECT_DOUBLE_EQ((80.0_pct).fraction(), 0.8);
+  EXPECT_DOUBLE_EQ(Percent::from_fraction(0.35).value(), 35.0);
+  EXPECT_DOUBLE_EQ(Percent{80}.of(250.0_W).value(), 200.0);
+  EXPECT_DOUBLE_EQ(Percent::ratio_of(30.0_W, 120.0_W).value(), 25.0);
+}
+
+TEST(Units, PercentPerGhzGain) {
+  const PercentPerGhz a = 7.9_pct / 10.0_GHz;
+  EXPECT_DOUBLE_EQ(a.value(), 0.79);
+  EXPECT_DOUBLE_EQ((a * 2.0_GHz).value(), 1.58);
+  EXPECT_DOUBLE_EQ((10.0_pct / PercentPerGhz{0.5}).value(), 20.0);
+}
+
+TEST(Units, GainFormConversionRoundTrips) {
+  // Fig. 5 identifies ~0.79 %/GHz on a 70 W chip: 0.553 W/GHz absolute.
+  const PercentPerGhz pct_gain{0.79};
+  const WattsPerGhz abs = absolute_gain(pct_gain, 70.0_W);
+  EXPECT_NEAR(abs.value(), 0.553, 1e-12);
+  EXPECT_NEAR(percent_gain(abs, 70.0_W).value(), 0.79, 1e-12);
+}
+
+TEST(Units, LeakageConstant) {
+  const WattsPerVolt k = 6.0_W / 1.2_V;
+  EXPECT_DOUBLE_EQ(k.value(), 5.0);
+  EXPECT_DOUBLE_EQ((k * 1.2_V).value(), 6.0);
+  EXPECT_DOUBLE_EQ((1.2_V * k).value(), 6.0);
+}
+
+TEST(Units, ConstexprHelpers) {
+  EXPECT_DOUBLE_EQ(units::abs(Watts{-3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(units::abs(Watts{3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(units::min(1.0_W, 2.0_W).value(), 1.0);
+  EXPECT_DOUBLE_EQ(units::max(1.0_W, 2.0_W).value(), 2.0);
+  EXPECT_DOUBLE_EQ(units::clamp(5.0_W, 1.0_W, 3.0_W).value(), 3.0);
+  EXPECT_DOUBLE_EQ(units::clamp(0.5_W, 1.0_W, 3.0_W).value(), 1.0);
+  EXPECT_DOUBLE_EQ(units::clamp(2.0_W, 1.0_W, 3.0_W).value(), 2.0);
+}
+
+TEST(Units, IntegerLiterals) {
+  EXPECT_DOUBLE_EQ((40_W).value(), 40.0);
+  EXPECT_DOUBLE_EQ((2_GHz).value(), 2.0);
+  EXPECT_DOUBLE_EQ((80_pct).fraction(), 0.8);
+  EXPECT_DOUBLE_EQ((500_ms).to_seconds().value(), 0.5);
+  EXPECT_DOUBLE_EQ((3_J).value(), 3.0);
+  EXPECT_DOUBLE_EQ((1_bips).value(), 1.0);
+  EXPECT_DOUBLE_EQ((1_V).value(), 1.0);
+  EXPECT_DOUBLE_EQ((1_s).value(), 1.0);
+}
+
+// The compile-time Jury criterion must agree with the runtime root-finder
+// (control/stability.h computes the closed-loop poles numerically). Sweep
+// plant gains across and beyond the paper's robustness range and compare
+// verdicts at every point.
+TEST(Units, JuryCriterionMatchesRootFinder) {
+  const control::PidGains gains{0.4, 0.4, 0.3};
+  for (double a = 0.05; a < 3.0; a += 0.05) {
+    const control::StabilityReport rep =
+        control::analyze_cpm_loop(units::PercentPerGhz{a}, gains);
+    EXPECT_EQ(cpm_loop_stable(a, gains.kp, gains.ki, gains.kd), rep.stable)
+        << "plant gain " << a;
+  }
+}
+
+TEST(Units, JuryCriterionPaperDesignPoint) {
+  // Nominal plant 0.79 %/GHz with gains (0.4, 0.4, 0.3): stable, and the
+  // claimed gain-robustness range g in (0, 2.1) holds.
+  EXPECT_TRUE(cpm_loop_stable(0.79, 0.4, 0.4, 0.3));
+  EXPECT_TRUE(cpm_loop_stable(0.79 * 2.05, 0.4, 0.4, 0.3));
+  EXPECT_FALSE(cpm_loop_stable(0.79 * 2.2, 0.4, 0.4, 0.3));
+  // Degenerate plant: no actuation authority, loop cannot regulate.
+  EXPECT_FALSE(cpm_loop_stable(0.0, 0.4, 0.4, 0.3) &&
+               cpm_loop_stable(-0.79, 0.4, 0.4, 0.3));
+}
+
+TEST(Units, ValidDvfsLevelsAcceptsMonotoneTable) {
+  struct P {
+    double freq_ghz;
+    double voltage;
+  };
+  constexpr P good[] = {{0.6, 0.956}, {1.0, 1.0}, {2.0, 1.26}};
+  static_assert(valid_dvfs_levels(good));
+  constexpr P bad_freq[] = {{1.0, 1.0}, {0.8, 1.1}};     // not increasing
+  constexpr P bad_volt[] = {{0.5, 1.2}, {1.0, 1.0}};     // voltage drops
+  constexpr P bad_zero[] = {{0.0, 1.0}, {1.0, 1.1}};     // non-physical
+  static_assert(!valid_dvfs_levels(bad_freq));
+  static_assert(!valid_dvfs_levels(bad_volt));
+  static_assert(!valid_dvfs_levels(bad_zero));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cpm::units

@@ -1,4 +1,5 @@
 #include "workload/workload.h"
+#include "util/units.h"
 
 #include <gtest/gtest.h>
 
@@ -47,8 +48,8 @@ TEST(Workload, PhasesAdvanceAndCycle) {
 }
 
 TEST(Workload, PhaseOffsetDesynchronizes) {
-  WorkloadInstance a(bschls(), 5, 0.0);
-  WorkloadInstance b(bschls(), 5, 25.0);
+  WorkloadInstance a(bschls(), 5, units::Milliseconds{0.0});
+  WorkloadInstance b(bschls(), 5, units::Milliseconds{25.0});
   EXPECT_NE(a.phase_index(), b.phase_index());
 }
 
