@@ -31,6 +31,7 @@ double mean_power(const std::vector<cpm::core::GpmIntervalRecord>& records) {
 
 int main(int argc, char** argv) {
   using namespace cpm;
+  bench::Telemetry telemetry("ext_longrun");
   // Default 2 s keeps the bench quick; pass a longer duration (e.g. 30) to
   // stress the bounded-memory guarantee harder -- the retained counts below
   // stay put while "seen" grows linearly.
@@ -114,5 +115,5 @@ int main(int argc, char** argv) {
 
   bench::note("bounded sinks cap resident records at (256 PIC, 64 GPM) while");
   bench::note("their streaming aggregates stay exact; CSV spills the full trace");
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

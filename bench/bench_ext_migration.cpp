@@ -12,6 +12,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("ext_migration");
   bench::header("Extension", "runtime migration toward homogeneous islands");
 
   const double duration = core::kDefaultDurationS;
@@ -41,5 +42,5 @@ int main() {
 
   const bool ok = migr.managed.migrations >= 2 &&
                   migr.degradation <= mix1.degradation + 0.01;
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

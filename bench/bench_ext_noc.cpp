@@ -32,6 +32,7 @@ double cpi_with(const sim::MeshNoc* noc, std::size_t nodes_per_island,
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("ext_noc");
   bench::header("Extension", "mesh NoC latency profile (2x4, XY routing)");
 
   sim::NocConfig noc_cfg;
@@ -70,5 +71,5 @@ int main() {
   bench::note("remote L2 banks and island-boundary synchronizers stretch CPI;");
   bench::note("finer islands mean more GALS crossings -- part of the paper's");
   bench::note("case for a modest number of multi-core islands");
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

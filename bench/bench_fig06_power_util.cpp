@@ -18,6 +18,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig06_power_util");
   bench::header("Fig. 6", "power vs. utilization regression per benchmark");
 
   util::AsciiTable table({"benchmark", "k1 (slope, W/util)", "k0 (W)", "R^2"});
@@ -70,5 +71,5 @@ int main() {
   table.print(std::cout);
   const double avg_r2 = r2_sum / static_cast<double>(count);
   std::printf("  average R^2 = %.3f  (paper: ~0.96)\n", avg_r2);
-  return avg_r2 > 0.85 ? 0 : 1;
+  return telemetry.finish(avg_r2 > 0.85);
 }

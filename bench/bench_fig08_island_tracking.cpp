@@ -9,6 +9,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig08_island_tracking");
   bench::header("Fig. 8", "per-island target vs actual power over time");
 
   core::Simulation sim(core::default_config(0.8));
@@ -38,5 +39,5 @@ int main() {
         m.max_overshoot * 100.0, m.mean_settling_time,
         m.steady_state_error * 100.0);
   }
-  return 0;
+  return telemetry.finish(true);
 }

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig09_pic_tracking");
   bench::header("Fig. 9", "PIC tracking between two GPM invocations");
 
   core::Simulation sim(core::default_config(0.8));
@@ -50,5 +51,5 @@ int main() {
   }
   table.print(std::cout);
   bench::note("paper: settles within 5-6 PIC invocations, near-zero steady error");
-  return 0;
+  return telemetry.finish(true);
 }

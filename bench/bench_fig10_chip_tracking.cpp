@@ -9,6 +9,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig10_chip_tracking");
   bench::header("Fig. 10", "tracking the chip-wide power budget (80%)");
 
   core::Simulation sim(core::default_config(0.8));
@@ -30,5 +31,5 @@ int main() {
       m.mean_abs_error * 100.0, m.mean_power_w,
       m.mean_power_w / res.max_chip_power_w * 100.0);
   bench::note("paper: overshoot/undershoot mostly within 4% of the budget");
-  return (m.max_overshoot < 0.08) ? 0 : 1;
+  return telemetry.finish((m.max_overshoot < 0.08));
 }

@@ -21,6 +21,7 @@ struct Point {
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig11_budget_curves");
   bench::header("Fig. 11", "budget curves: ours vs MaxBIPS");
 
   const std::vector<double> budgets{0.55, 0.65, 0.75, 0.80, 0.85, 0.95};
@@ -63,5 +64,5 @@ int main() {
   }
   table.print(std::cout);
   bench::note("paper: our curve hugs the budget; MaxBIPS is always below it");
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

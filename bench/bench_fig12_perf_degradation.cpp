@@ -10,6 +10,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig12_perf_degradation");
   bench::header("Fig. 12", "performance degradation vs power budget");
 
   const std::vector<double> budgets{0.55, 0.65, 0.75, 0.80, 0.90, 1.0};
@@ -40,5 +41,5 @@ int main() {
 
   // Shape check: degradation decreases as budgets loosen.
   bool monotone_ok = points.front().degradation > points.back().degradation;
-  return monotone_ok ? 0 : 1;
+  return telemetry.finish(monotone_ok);
 }

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig14_degradation_time");
   bench::header("Fig. 14", "degradation over time at a 100% budget");
 
   const core::ManagedVsBaseline mb =
@@ -29,5 +30,5 @@ int main() {
               stats.mean(), stats.max());
   std::printf("  whole-run instruction-count degradation: %.2f%%\n",
               mb.degradation * 100.0);
-  return stats.mean() < 3.0 ? 0 : 1;
+  return telemetry.finish(stats.mean() < 3.0);
 }

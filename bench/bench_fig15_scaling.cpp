@@ -22,6 +22,7 @@ struct Cell {
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig15_scaling");
   bench::header("Fig. 15", "16/32-core scaling: ours vs MaxBIPS");
 
   // The whole scaling grid -- (cores, budget) cells plus the 64-core
@@ -87,5 +88,5 @@ int main() {
   table.print(std::cout);
   bench::note("paper: ~4% (ours) vs 14%/16.2% (MaxBIPS) at the 80% budget;");
   bench::note("the 64-core row extends the scaling study beyond the paper");
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

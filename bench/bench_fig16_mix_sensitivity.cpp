@@ -11,6 +11,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig16_mix_sensitivity");
   bench::header("Fig. 16", "sensitivity to the application mix (80% budget)");
 
   util::AsciiTable table({"mix", "grouping", "perf degradation"});
@@ -34,5 +35,5 @@ int main() {
   }
   table.print(std::cout);
   bench::note("paper: Mix-2's degradation is lower than Mix-1's");
-  return (deg_mix2 <= deg_mix1 + 0.01) ? 0 : 1;
+  return telemetry.finish((deg_mix2 <= deg_mix1 + 0.01));
 }

@@ -22,6 +22,7 @@ struct Cell {
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig17_interval_sensitivity");
   bench::header("Fig. 17",
                 "sensitivity to (GPM interval, PIC interval) per island size");
 
@@ -61,5 +62,5 @@ int main() {
   }
   table.print(std::cout);
   bench::note("paper: the (5, 0.5) cadence degrades less than (5, 5)");
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

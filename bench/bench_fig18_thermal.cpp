@@ -12,6 +12,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig18_thermal");
   bench::header("Fig. 18a", "8-core layout for the thermal study");
   std::cout << "  +------+------+------+----------+\n"
                "  | mesa | bzip | gcc  | sixtrack |   cores 1-4\n"
@@ -61,5 +62,5 @@ int main() {
 
   const bool ok = thermal_violations == 0.0 &&
                   thermal.degradation >= perf.degradation - 0.02;
-  return ok ? 0 : 1;
+  return telemetry.finish(ok);
 }

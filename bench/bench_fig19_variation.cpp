@@ -10,6 +10,7 @@
 
 int main() {
   using namespace cpm;
+  bench::Telemetry telemetry("fig19_variation");
   bench::header("Sec. IV-B",
                 "variation-aware provisioning (leakage 1.2x/1.5x/2.0x/1.0x)");
 
@@ -54,5 +55,5 @@ int main() {
 
   // Shape check: the variation-aware policy improves the chip-level
   // power/throughput ratio.
-  return chip_gain > 0.0 ? 0 : 1;
+  return telemetry.finish(chip_gain > 0.0);
 }

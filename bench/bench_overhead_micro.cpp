@@ -11,6 +11,9 @@
 #include "core/perf_policy.h"
 #include "core/pic.h"
 #include "sim/chip.h"
+#include "util/bench_telemetry.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/mixes.h"
 #include "util/units.h"
 
@@ -79,6 +82,51 @@ void BM_ChipTick(benchmark::State& state) {
 }
 BENCHMARK(BM_ChipTick);
 
+void BM_TraceScope(benchmark::State& state) {
+  // Cost of an armed-but-idle trace point: with tracing compiled in and no
+  // session active this is one relaxed atomic load; with -DCPM_TRACING=OFF
+  // the macro expands to nothing and this must match the empty loop exactly
+  // (the zero-cost-when-disabled acceptance check).
+  double v = 0.0;
+  for (auto _ : state) {
+    CPM_TRACE_SCOPE1("bench", "noop", "v", v);
+    v += 1.0;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TraceScope);
+
+void BM_TraceScopeBaseline(benchmark::State& state) {
+  // The empty-loop reference BM_TraceScope is compared against.
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 1.0;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TraceScopeBaseline);
+
+void BM_MetricsCounter(benchmark::State& state) {
+  util::Counter& counter =
+      util::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounter);
+
+void BM_MetricsHistogram(benchmark::State& state) {
+  util::Histogram& hist =
+      util::MetricsRegistry::global().histogram("bench.histogram");
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.observe(v);
+    v += 0.5;
+  }
+}
+BENCHMARK(BM_MetricsHistogram);
+
 void BM_FullGpmWindow(benchmark::State& state) {
   // One GPM window of the full coordinated simulation (50 ticks + 10 PIC
   // invocations + 1 GPM invocation), amortized.
@@ -91,4 +139,15 @@ BENCHMARK(BM_FullGpmWindow)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with bench telemetry wrapped around the run so
+// bench_all.sh gets a BENCH_overhead_micro.json like every other target.
+int main(int argc, char** argv) {
+  cpm::util::BenchTelemetry telemetry("overhead_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return telemetry.finish(false);
+  }
+  telemetry.add_iterations(benchmark::RunSpecifiedBenchmarks());
+  benchmark::Shutdown();
+  return telemetry.finish(true);
+}

@@ -11,9 +11,15 @@
 #include "core/invariant_checker.h"
 #include "core/record_sink.h"
 #include "core/simulation.h"
+#include "util/bench_telemetry.h"
 #include "util/table.h"
 
 namespace cpm::bench {
+
+/// Every bench declares one of these first in main() and exits through
+/// telemetry.finish(ok); when $CPM_BENCH_JSON_DIR is set the destructor
+/// drops BENCH_<name>.json there (see scripts/bench_all.sh).
+using Telemetry = util::BenchTelemetry;
 
 /// Runs a simulation with the invariant checker attached in fatal mode: a
 /// violated power-management invariant aborts the bench with a diagnostic
@@ -29,10 +35,17 @@ inline core::SimulationResult checked_run(core::Simulation& sim,
 }
 
 inline void header(const std::string& id, const std::string& title) {
+  // The figure id/title pair describes what the bench measures, so it is
+  // folded into the telemetry config hash: baseline comparisons only match
+  // like with like.
+  if (Telemetry* t = Telemetry::current()) t->note_config(id + "|" + title);
   std::cout << "\n=== " << id << ": " << title << " ===\n";
 }
 
-inline void note(const std::string& text) { std::cout << "  " << text << "\n"; }
+inline void note(const std::string& text) {
+  if (Telemetry* t = Telemetry::current()) t->note_config(text);
+  std::cout << "  " << text << "\n";
+}
 
 /// Prints a time series as "label: v0 v1 v2 ..." with fixed precision.
 inline void series(const std::string& label, const std::vector<double>& values,

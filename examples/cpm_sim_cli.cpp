@@ -17,7 +17,10 @@
 #include "core/record_sink.h"
 #include "core/report.h"
 #include "core/trace_io.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 #include "workload/mixes.h"
 #include "util/units.h"
 
@@ -38,6 +41,9 @@ struct CliOptions {
   std::uint64_t sink_capacity = 4096;
   std::string trace_out;  // file prefix for the streaming sinks
   bool check_invariants = false;
+  std::string chrome_trace;  // Chrome trace_event JSON (Perfetto) output
+  std::string metrics_out;   // metrics-registry JSON snapshot output
+  std::string log_file;      // route log lines to a file instead of stderr
 };
 
 void usage() {
@@ -67,6 +73,11 @@ void usage() {
       "                    structural invariants (budget sums, DVFS bounds and\n"
       "                    quantization, step clamp, thermal streaks, sink\n"
       "                    aggregates); the first violation aborts the run\n"
+      "  --chrome-trace F  record a Chrome trace_event JSON timeline of the\n"
+      "                    run (open in Perfetto / chrome://tracing)\n"
+      "  --metrics-out F   dump the metrics-registry JSON snapshot (counters,\n"
+      "                    gauges, histograms) after the run\n"
+      "  --log-file F      append log lines to F instead of stderr\n"
       "  --help            this text\n";
 }
 
@@ -162,6 +173,18 @@ ParseResult parse(int argc, char** argv, CliOptions& opt) {
       opt.trace_out = v;
     } else if (arg == "--check-invariants") {
       opt.check_invariants = true;
+    } else if (arg == "--chrome-trace") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.chrome_trace = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.metrics_out = v;
+    } else if (arg == "--log-file") {
+      const char* v = next();
+      if (!v) return ParseResult::kError;
+      opt.log_file = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       usage();
@@ -187,6 +210,14 @@ int main(int argc, char** argv) {
 
   core::SimulationConfig config;
   try {
+    if (!opt.log_file.empty()) {
+      util::set_log_sink(util::make_file_log_sink(opt.log_file));
+    }
+    // Start before the Simulation is built so calibration shows up on the
+    // timeline too.
+    if (!opt.chrome_trace.empty()) {
+      util::trace::start_session(opt.chrome_trace);
+    }
     config = core::scaled_config(opt.cores, opt.budget, opt.seed);
     if (opt.mix == "mix2") {
       if (opt.cores != 8) {
@@ -336,7 +367,23 @@ int main(int argc, char** argv) {
       core::write_summary_csv(summary, result);
       std::cout << "traces written to " << opt.csv_prefix << "_{pic,gpm,summary}.csv\n";
     }
+
+    if (!opt.chrome_trace.empty()) {
+      const std::size_t events = util::trace::stop_session();
+      std::cout << "chrome trace written to " << opt.chrome_trace << " ("
+                << events << " events)\n";
+    }
+    if (!opt.metrics_out.empty()) {
+      std::ofstream metrics(opt.metrics_out);
+      if (!metrics) {
+        std::cerr << "cannot open metrics file " << opt.metrics_out << "\n";
+        return 1;
+      }
+      util::MetricsRegistry::global().write_json(metrics);
+      std::cout << "metrics written to " << opt.metrics_out << "\n";
+    }
   } catch (const std::exception& e) {
+    util::trace::stop_session();  // flush whatever was captured before dying
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every bench_* target with bench telemetry enabled and aggregates the
+# per-bench BENCH_<name>.json files (schema: docs/OBSERVABILITY.md) into one
+# summary. Seeds the perf trajectory: commit a snapshot of the output as
+# bench/baseline/BENCH_baseline.json and CI gates wall-time regressions
+# against it (scripts/check_bench_json.py --baseline).
+#
+# usage: scripts/bench_all.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
+#   OUT_DIR    where BENCH_*.json land (default: BUILD_DIR/bench-telemetry)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+OUT_DIR="${2:-$BUILD_DIR/bench-telemetry}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "bench_all: no bench binaries under $BUILD_DIR/bench (build first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+rm -f "$OUT_DIR"/BENCH_*.json
+
+failures=0
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  args=()
+  # google-benchmark target: keep the sweep quick and deterministic-ish.
+  if [ "$name" = "bench_overhead_micro" ]; then
+    args+=(--benchmark_min_time=0.05)
+  fi
+  echo "== $name"
+  status=0
+  CPM_BENCH_JSON_DIR="$OUT_DIR" "$bin" "${args[@]}" > /dev/null || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "   FAILED (exit $status)" >&2
+    failures=$((failures + 1))
+  fi
+  ran=$((ran + 1))
+done
+
+echo
+echo "bench_all: ran $ran benches, $failures failures; telemetry in $OUT_DIR"
+python3 "$ROOT/scripts/check_bench_json.py" "$OUT_DIR" \
+  --aggregate "$OUT_DIR/BENCH_all.json" --expect "$ran"
+[ "$failures" -eq 0 ]

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate, aggregate, and regression-gate BENCH_*.json telemetry files.
+
+Every bench binary drops a BENCH_<name>.json (schema_version 1, see
+docs/OBSERVABILITY.md) into $CPM_BENCH_JSON_DIR; scripts/bench_all.sh runs
+them all and calls this to
+
+  * validate each file against the schema (required keys, types),
+  * optionally merge them into one aggregate document (--aggregate), and
+  * optionally gate wall-time regressions against a committed baseline
+    (--baseline bench/baseline/BENCH_baseline.json, --tolerance 0.15):
+    a bench whose wall_s exceeds max(baseline * (1 + tolerance),
+    baseline + min_slack) fails the gate.
+    Benches absent from the baseline are reported but never fail (new
+    benches must be able to land before their baseline does).
+
+Exit code 0 when everything validates (and the gate passes), 1 otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+# key -> allowed JSON types after parsing
+REQUIRED_KEYS = {
+    "schema_version": (int,),
+    "name": (str,),
+    "ok": (bool,),
+    "wall_s": (int, float),
+    "iterations": (int,),
+    "records": (int,),
+    "records_per_s": (int, float),
+    "peak_rss_bytes": (int,),
+    "config_hash": (str,),
+}
+
+
+def validate(path: pathlib.Path) -> tuple[dict | None, list[str]]:
+    """Returns (record, errors); record is None when unusable."""
+    errors: list[str] = []
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, [f"{path.name}: unreadable: {exc}"]
+    if not isinstance(record, dict):
+        return None, [f"{path.name}: not a JSON object"]
+    for key, types in REQUIRED_KEYS.items():
+        if key not in record:
+            errors.append(f"{path.name}: missing key '{key}'")
+        elif not isinstance(record[key], types) or (
+            # bool is an int subclass; only 'ok' may be boolean
+            isinstance(record[key], bool) and key != "ok"
+        ):
+            errors.append(
+                f"{path.name}: key '{key}' has type "
+                f"{type(record[key]).__name__}")
+    if errors:
+        return None, errors
+    if record["schema_version"] != SCHEMA_VERSION:
+        return None, [
+            f"{path.name}: schema_version {record['schema_version']} "
+            f"!= {SCHEMA_VERSION}"]
+    if path.name != f"BENCH_{record['name']}.json":
+        errors.append(
+            f"{path.name}: name '{record['name']}' does not match filename")
+    if len(record["config_hash"]) != 16:
+        errors.append(f"{path.name}: config_hash is not 16 hex digits")
+    return record, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("telemetry_dir", type=pathlib.Path,
+                        help="directory holding BENCH_*.json files")
+    parser.add_argument("--aggregate", type=pathlib.Path, default=None,
+                        help="write merged {'benches': [...]} document here")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="aggregate document to gate wall_s against")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative wall_s growth (default 0.15)")
+    parser.add_argument("--min-slack-s", type=float, default=0.05,
+                        help="absolute wall_s slack so sub-millisecond "
+                             "benches aren't gated on timer noise "
+                             "(default 0.05)")
+    parser.add_argument("--expect", type=int, default=None,
+                        help="fail unless exactly this many files validate")
+    args = parser.parse_args()
+
+    paths = sorted(p for p in args.telemetry_dir.glob("BENCH_*.json")
+                   if p.name != "BENCH_all.json")
+    records: list[dict] = []
+    failed = False
+    for path in paths:
+        record, errors = validate(path)
+        for error in errors:
+            print(f"check_bench_json: {error}", file=sys.stderr)
+            failed = True
+        if record is not None:
+            records.append(record)
+            if not record["ok"]:
+                print(f"check_bench_json: {path.name}: bench reported ok="
+                      "false", file=sys.stderr)
+                failed = True
+
+    print(f"check_bench_json: {len(records)}/{len(paths)} files schema-valid")
+    if args.expect is not None and len(records) != args.expect:
+        print(f"check_bench_json: expected {args.expect} valid files",
+              file=sys.stderr)
+        failed = True
+
+    if args.aggregate:
+        records.sort(key=lambda r: r["name"])
+        args.aggregate.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION,
+                        "benches": records}, indent=2) + "\n")
+        print(f"check_bench_json: aggregate written to {args.aggregate}")
+
+    if args.baseline:
+        base_doc = json.loads(args.baseline.read_text())
+        base = {r["name"]: r for r in base_doc["benches"]}
+        for record in records:
+            ref = base.get(record["name"])
+            if ref is None:
+                print(f"check_bench_json: {record['name']}: no baseline "
+                      "entry (skipped)")
+                continue
+            if record["config_hash"] != ref["config_hash"]:
+                print(f"check_bench_json: {record['name']}: config_hash "
+                      "differs from baseline (wall-time gate still applies)")
+            limit = max(ref["wall_s"] * (1.0 + args.tolerance),
+                        ref["wall_s"] + args.min_slack_s)
+            verdict = "ok" if record["wall_s"] <= limit else "REGRESSION"
+            print(f"check_bench_json: {record['name']}: wall "
+                  f"{record['wall_s']:.3f}s vs baseline {ref['wall_s']:.3f}s "
+                  f"(limit {limit:.3f}s) {verdict}")
+            if verdict == "REGRESSION":
+                failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

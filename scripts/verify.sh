@@ -15,6 +15,9 @@ FAST=0
 echo "== lint: unit-type convention =="
 python3 scripts/lint_units.py
 
+echo "== lint: doc references =="
+python3 scripts/check_docs.py
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== lint: clang-tidy =="
   cmake --preset default >/dev/null
@@ -41,12 +44,17 @@ if [[ "$FAST" == "0" ]]; then
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan
 
-  echo "== TSan: parallel_map sweep benches + fuzz smoke =="
+  echo "== TSan: parallel_map sweep benches + metrics/trace + fuzz smoke =="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j"$(nproc)" \
-    --target bench_fig13_island_size bench_fig17_interval_sensitivity fuzz_sim
+    --target bench_fig13_island_size bench_fig17_interval_sensitivity \
+             fuzz_sim util_tests
   ./build-tsan/bench/bench_fig13_island_size
   ./build-tsan/bench/bench_fig17_interval_sensitivity
+  # Concurrent publishers into the metrics registry and the per-thread trace
+  # buffers -- the observability layer's data-race gate.
+  ./build-tsan/tests/util_tests \
+    --gtest_filter='MetricsRegistry.*:Trace.*:Parallel.*'
   ./build-tsan/tests/fuzz_sim --scenarios 60 --seed "$SEED"
 fi
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace cpm::core {
 
 namespace {
@@ -51,11 +53,17 @@ InvariantChecker::InvariantChecker(InvariantCheckerConfig config)
 }
 
 void InvariantChecker::report(InvariantViolation v) {
+  static util::Counter& violation_counter =
+      util::MetricsRegistry::global().counter("invariants.violations");
+  violation_counter.add();
   if (config_.fatal) throw InvariantViolationError(v);
   violations_.push_back(std::move(v));
 }
 
 void InvariantChecker::check_pic(const PicIntervalRecord& rec) {
+  static util::Counter& checked_counter =
+      util::MetricsRegistry::global().counter("invariants.pic_checked");
+  checked_counter.add();
   ++pic_count_;
   if (rec.island >= config_.num_islands) {
     report({"pic.island_index", rec.time_s, rec.island,
@@ -111,6 +119,9 @@ void InvariantChecker::check_pic(const PicIntervalRecord& rec) {
 }
 
 void InvariantChecker::check_gpm(const GpmIntervalRecord& rec) {
+  static util::Counter& checked_counter =
+      util::MetricsRegistry::global().counter("invariants.gpm_checked");
+  checked_counter.add();
   ++gpm_count_;
   if (rec.island_alloc_w.size() != config_.num_islands ||
       rec.island_actual_w.size() != config_.num_islands) {

@@ -8,7 +8,9 @@
 #include "control/system_id.h"
 #include "core/record_sink.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace cpm::core {
 
@@ -118,6 +120,8 @@ double Simulation::level_scale(std::size_t level) const {
 }
 
 void Simulation::calibrate() {
+  CPM_TRACE_SCOPE1("sim", "Simulation::calibrate", "islands",
+                   config_.cmp.num_islands);
   const auto& cmp = config_.cmp;
   sim::Chip chip(cmp, config_.mix, config_.seed);
   thermal::RcThermalModel thermal(make_floorplan(cmp.total_cores()),
@@ -420,6 +424,7 @@ void SimulationRun::advance(double seconds) {
   if (!(seconds > 0.0) || !std::isfinite(seconds)) {
     throw std::invalid_argument("SimulationRun::advance: duration must be positive");
   }
+  CPM_TRACE_SCOPE1("sim", "SimulationRun::advance", "seconds", seconds);
   // Round to whole ticks but carry the fractional remainder to the next
   // call: each invocation alone rounding `seconds / dt_` would silently lose
   // (or double-count) time under repeated sub-interval stepping.
@@ -489,9 +494,11 @@ void SimulationRun::tick_once() {
 }
 
 void SimulationRun::pic_boundary(double now) {
+  CPM_TRACE_SCOPE1("sim", "SimulationRun::pic_boundary", "time_s", now);
   const SimulationConfig& config = owner_->config_;
   const auto& cmp = config.cmp;
   for (std::size_t i = 0; i < n_; ++i) {
+    CPM_TRACE_SCOPE1("pic", "pic.update", "island", i);
     double u = pic_accum_[i].mean_util();
     if (config.sensor_noise_sigma > 0.0) {
       u = std::clamp(
@@ -525,6 +532,12 @@ void SimulationRun::pic_boundary(double now) {
       rec.sensed_w = rec.actual_w;
       gpm_sensed_energy_[i] += rec.sensed_w * cmp.pic_interval_s;
     }
+    // Counted here, at the production site, rather than in RecordSink: a
+    // CheckingSink forwards each record through its inner sink's public
+    // entry point, which would double-count.
+    static util::Counter& pic_record_counter =
+        util::MetricsRegistry::global().counter("sim.pic_records");
+    pic_record_counter.add();
     sink_->record_pic(rec);
     result_.island_level_residency[i][rec.dvfs_level] += 1.0;
     pic_accum_[i].reset();
@@ -532,6 +545,8 @@ void SimulationRun::pic_boundary(double now) {
 }
 
 void SimulationRun::gpm_boundary(double now) {
+  CPM_TRACE_SCOPE2("gpm", "SimulationRun::gpm_boundary", "time_s", now,
+                   "budget_w", live_budget_w_);
   const SimulationConfig& config = owner_->config_;
   const auto& cmp = config.cmp;
 
@@ -593,6 +608,11 @@ void SimulationRun::gpm_boundary(double now) {
   }
   last_gpm_power_w_ = rec.chip_actual_w;
   last_gpm_bips_ = rec.chip_bips;
+  CPM_TRACE_COUNTER("chip_power_w", "actual", rec.chip_actual_w);
+  CPM_TRACE_COUNTER("chip_bips", "bips", rec.chip_bips);
+  static util::Counter& gpm_record_counter =
+      util::MetricsRegistry::global().counter("sim.gpm_records");
+  gpm_record_counter.add();
   sink_->record_gpm(rec);
 
   // ---- migration advisor (extension) ----
@@ -633,6 +653,9 @@ SimulationResult SimulationRun::finish() {
     throw std::logic_error("SimulationRun::finish: already finished");
   }
   finished_ = true;
+  static util::Counter& runs_counter =
+      util::MetricsRegistry::global().counter("sim.runs");
+  runs_counter.add();
   result_.duration_s = elapsed_s();
   for (auto& residency : result_.island_level_residency) {
     double total = 0.0;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace cpm::sim {
@@ -49,6 +50,9 @@ void Chip::migrate(std::size_t island_a, std::size_t core_a,
 }
 
 ChipTick Chip::step(double dt_seconds) {
+  static util::Counter& tick_counter =
+      util::MetricsRegistry::global().counter("chip.ticks");
+  tick_counter.add();
   ChipTick tick;
   tick.congestion = memory_.congestion();
   tick.islands.reserve(islands_.size());

@@ -1,0 +1,182 @@
+#include "util/bench_telemetry.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace cpm::util {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_step(std::uint64_t state, std::string_view text) {
+  for (const char c : text) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::string to_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ULL;
+}
+
+BenchTelemetry*& current_slot() noexcept {
+  static BenchTelemetry* current = nullptr;
+  return current;
+}
+
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+double require_number(const json::Value& doc, const char* key) {
+  const json::Value* v = doc.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw std::runtime_error(std::string("bench json: missing numeric key \"") +
+                             key + '"');
+  }
+  return v->number;
+}
+
+std::uint64_t require_count(const json::Value& doc, const char* key) {
+  const double v = require_number(doc, key);
+  if (v < 0.0) {
+    throw std::runtime_error(std::string("bench json: negative count \"") +
+                             key + '"');
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::string fnv1a_hex(std::string_view text) {
+  return to_hex(fnv1a_step(kFnvOffset, text));
+}
+
+void write_bench_json(std::ostream& os, const BenchTelemetryData& data) {
+  os << "{\"schema_version\":" << BenchTelemetryData::kSchemaVersion
+     << ",\"name\":\"" << json::escape(data.name) << "\",\"ok\":"
+     << (data.ok ? "true" : "false") << ",\"wall_s\":";
+  write_double(os, data.wall_s);
+  os << ",\"iterations\":" << data.iterations << ",\"records\":"
+     << data.records << ",\"records_per_s\":";
+  write_double(os, data.records_per_s);
+  os << ",\"peak_rss_bytes\":" << data.peak_rss_bytes << ",\"config_hash\":\""
+     << json::escape(data.config_hash) << "\"}";
+}
+
+BenchTelemetryData parse_bench_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) throw std::runtime_error("bench json: not an object");
+  const double version = require_number(doc, "schema_version");
+  if (version != static_cast<double>(BenchTelemetryData::kSchemaVersion)) {
+    throw std::runtime_error("bench json: unsupported schema_version");
+  }
+  const json::Value* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->string.empty()) {
+    throw std::runtime_error("bench json: missing \"name\"");
+  }
+  const json::Value* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    throw std::runtime_error("bench json: missing boolean \"ok\"");
+  }
+  const json::Value* hash = doc.find("config_hash");
+  if (hash == nullptr || !hash->is_string()) {
+    throw std::runtime_error("bench json: missing \"config_hash\"");
+  }
+
+  BenchTelemetryData data;
+  data.name = name->string;
+  data.ok = ok->boolean;
+  data.wall_s = require_number(doc, "wall_s");
+  data.iterations = require_count(doc, "iterations");
+  data.records = require_count(doc, "records");
+  data.records_per_s = require_number(doc, "records_per_s");
+  data.peak_rss_bytes = require_count(doc, "peak_rss_bytes");
+  data.config_hash = hash->string;
+  return data;
+}
+
+BenchTelemetry::BenchTelemetry(std::string name)
+    : name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()),
+      config_hash_state_(fnv1a_step(kFnvOffset, name_)) {
+  current_slot() = this;
+}
+
+BenchTelemetry* BenchTelemetry::current() noexcept { return current_slot(); }
+
+void BenchTelemetry::note_config(std::string_view text) {
+  config_hash_state_ = fnv1a_step(config_hash_state_, text);
+}
+
+int BenchTelemetry::finish(bool ok) noexcept {
+  ok_ = ok;
+  return ok ? 0 : 1;
+}
+
+BenchTelemetryData BenchTelemetry::snapshot() const {
+  const MetricsRegistry& registry = MetricsRegistry::global();
+  BenchTelemetryData data;
+  data.name = name_;
+  data.ok = ok_;
+  data.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  data.iterations =
+      iterations_ != 0 ? iterations_ : registry.counter_value("sim.runs");
+  data.records = records_ != 0
+                     ? records_
+                     : registry.counter_value("sim.pic_records") +
+                           registry.counter_value("sim.gpm_records");
+  data.records_per_s =
+      data.wall_s > 0.0 ? static_cast<double>(data.records) / data.wall_s : 0.0;
+  data.peak_rss_bytes = peak_rss_bytes();
+  data.config_hash = to_hex(config_hash_state_);
+  return data;
+}
+
+BenchTelemetry::~BenchTelemetry() {
+  if (current_slot() == this) current_slot() = nullptr;
+  const char* dir = std::getenv("CPM_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  try {
+    const BenchTelemetryData data = snapshot();
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench telemetry: cannot open %s\n", path.c_str());
+      return;
+    }
+    write_bench_json(out, data);
+    out << '\n';
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench telemetry: %s\n", e.what());
+  }
+}
+
+}  // namespace cpm::util

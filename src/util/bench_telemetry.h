@@ -1,0 +1,89 @@
+// Machine-readable bench telemetry: every bench binary declares one
+// BenchTelemetry at the top of main() and returns telemetry.finish(ok).
+// When the CPM_BENCH_JSON_DIR environment variable names a directory, the
+// destructor writes BENCH_<name>.json there in the common schema
+// (schema_version 1):
+//
+//   {"schema_version":1,"name":"fig13_island_size","ok":true,
+//    "wall_s":2.41,"iterations":6,"records":50400,"records_per_s":20912.0,
+//    "peak_rss_bytes":53477376,"config_hash":"9e1c7a64b2f0d513"}
+//
+// Iterations/records default to the process-wide metrics registry counters
+// (sim.runs, sim.pic_records + sim.gpm_records) that the simulation core
+// publishes, so most benches need no explicit bookkeeping. With the env var
+// unset the object is inert. scripts/bench_all.sh runs every bench with the
+// env var set, validates each file against the schema and aggregates them;
+// CI gates wall-time regressions against bench/baseline/. See
+// docs/OBSERVABILITY.md for the full schema reference.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace cpm::util {
+
+/// One bench run's telemetry record (the BENCH_*.json schema, version 1).
+struct BenchTelemetryData {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string name;               // bench target minus the bench_ prefix
+  bool ok = false;                // the bench's own shape checks passed
+  double wall_s = 0.0;            // whole-process wall time
+  std::uint64_t iterations = 0;   // simulation runs (or bench-defined)
+  std::uint64_t records = 0;      // PIC+GPM records produced
+  double records_per_s = 0.0;     // records / wall_s (0 when no records)
+  std::uint64_t peak_rss_bytes = 0;
+  std::string config_hash;        // 16-hex-digit FNV-1a of name + notes
+};
+
+/// Serializes `data` as one schema-valid JSON object (no trailing newline).
+void write_bench_json(std::ostream& os, const BenchTelemetryData& data);
+
+/// Parses and validates a BENCH_*.json document; throws std::runtime_error
+/// on malformed JSON, a missing required key, or a schema_version mismatch.
+BenchTelemetryData parse_bench_json(std::string_view text);
+
+/// FNV-1a 64-bit as a 16-hex-digit string (the config_hash encoding).
+std::string fnv1a_hex(std::string_view text);
+
+class BenchTelemetry {
+ public:
+  /// Starts the wall clock. `name` should match the bench target minus the
+  /// "bench_" prefix (it becomes BENCH_<name>.json).
+  explicit BenchTelemetry(std::string name);
+  /// Writes BENCH_<name>.json to $CPM_BENCH_JSON_DIR when set (never
+  /// throws: telemetry failures must not fail the bench itself).
+  ~BenchTelemetry();
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  /// The most recently constructed live instance (one per bench process);
+  /// lets shared helpers attach counts without plumbing.
+  static BenchTelemetry* current() noexcept;
+
+  /// Explicit overrides for the registry-derived defaults.
+  void add_iterations(std::uint64_t n) noexcept { iterations_ += n; }
+  void add_records(std::uint64_t n) noexcept { records_ += n; }
+  /// Folds a configuration detail (flag values, table sizes, ...) into
+  /// config_hash so baseline comparisons only match like with like.
+  void note_config(std::string_view text);
+
+  /// Records the bench verdict and returns its process exit code (ok -> 0).
+  int finish(bool ok) noexcept;
+
+  /// The record as the destructor would write it now.
+  BenchTelemetryData snapshot() const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t iterations_ = 0;  // 0 -> fall back to sim.runs
+  std::uint64_t records_ = 0;     // 0 -> fall back to sim.*_records
+  std::uint64_t config_hash_state_;
+  bool ok_ = false;
+};
+
+}  // namespace cpm::util

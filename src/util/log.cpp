@@ -2,8 +2,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/trace.h"
 
 namespace cpm::util {
 
@@ -37,6 +42,47 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Default sink: stderr, one line per write, serialized by a mutex. Writing
+/// to stderr (never stdout) keeps log lines out of any machine-readable
+/// stdout stream a tool produces.
+class StderrLogSink final : public LogSink {
+ public:
+  void write(LogLevel level, const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << "[cpm:" << level_name(level) << "] " << line << '\n';
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+class FileLogSink final : public LogSink {
+ public:
+  explicit FileLogSink(const std::string& path)
+      : out_(path, std::ios::out | std::ios::app) {
+    if (!out_) throw std::runtime_error("log: cannot open " + path);
+  }
+  void write(LogLevel level, const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out_ << "[cpm:" << level_name(level) << "] " << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+struct SinkRegistry {
+  std::mutex mu;
+  std::shared_ptr<LogSink> sink = std::make_shared<StderrLogSink>();
+};
+
+SinkRegistry& sink_registry() {
+  static SinkRegistry registry;
+  return registry;
+}
+
 }  // namespace
 
 LogLevel log_threshold() noexcept { return threshold_storage().load(); }
@@ -45,11 +91,32 @@ void set_log_threshold(LogLevel level) noexcept {
   threshold_storage().store(level);
 }
 
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink) {
+  if (!sink) sink = std::make_shared<StderrLogSink>();
+  SinkRegistry& registry = sink_registry();
+  const std::lock_guard<std::mutex> lock(registry.mu);
+  std::swap(registry.sink, sink);
+  return sink;  // the previous sink
+}
+
+std::shared_ptr<LogSink> make_file_log_sink(const std::string& path) {
+  return std::make_shared<FileLogSink>(path);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock(mu);
-  std::cerr << "[cpm:" << level_name(level) << "] " << message << '\n';
+  std::shared_ptr<LogSink> sink;
+  {
+    SinkRegistry& registry = sink_registry();
+    const std::lock_guard<std::mutex> lock(registry.mu);
+    sink = registry.sink;
+  }
+  sink->write(level, message);
+#if CPM_TRACING_ENABLED
+  // Mirror onto the trace timeline so log lines appear next to the spans
+  // that produced them.
+  trace::message("log", level_name(level), message);
+#endif
 }
 
 }  // namespace cpm::util

@@ -1,8 +1,17 @@
 // Lightweight leveled logger. Simulation code logs through this so tests can
 // silence output and benches can enable tracing with an env var
 // (CPM_LOG=debug|info|warn|error|off).
+//
+// Output is routed through a pluggable LogSink (default: stderr behind a
+// mutex) -- the same sink-style indirection the event tracer uses -- so a
+// process whose stdout carries machine-readable output (cpm_sim_cli CSV,
+// BENCH_*.json) can never have log lines interleaved into it, and tools can
+// redirect logs to a file (`cpm_sim_cli --log-file`). When a trace session
+// is active every emitted line is also mirrored onto the trace timeline as
+// an instant event, so controller logs line up with the spans around them.
 #pragma once
 
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -15,7 +24,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 
-/// Emits a line to stderr if `level` passes the threshold.
+/// Destination for formatted log lines. Implementations must be safe to
+/// call from multiple threads (the built-in sinks serialize internally).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Replaces the process-wide log sink (nullptr restores the stderr
+/// default). The previous sink is returned so callers can restore it; the
+/// registry keeps the new sink alive until the next swap.
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink);
+
+/// Opens `path` (append mode) and routes all log lines to it. Throws
+/// std::runtime_error when the file cannot be opened.
+std::shared_ptr<LogSink> make_file_log_sink(const std::string& path);
+
+/// Formats and emits a line if `level` passes the threshold: through the
+/// active sink, and -- when a trace session is running -- mirrored as an
+/// instant event on the trace timeline.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace cpm::util {
 
 /// Number of worker threads to use: hardware concurrency clamped to
@@ -27,21 +30,34 @@ std::vector<Result> parallel_map(
     std::size_t threads = 0) {
   std::vector<Result> results(count);
   if (count == 0) return results;
+  static Counter& task_counter =
+      MetricsRegistry::global().counter("parallel_map.tasks");
   const std::size_t workers =
       std::min(count, threads ? threads : default_thread_count());
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    // The serial path emits the same per-task spans as the worker loop so a
+    // trace of a serial run is event-equivalent to a parallel one (modulo
+    // tid/ts) -- asserted by tests/integration/test_trace_determinism.cpp.
+    for (std::size_t i = 0; i < count; ++i) {
+      CPM_TRACE_SCOPE1("parallel", "parallel_map.task", "index", i);
+      task_counter.add();
+      results[i] = fn(i);
+    }
     return results;
   }
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::atomic<bool> has_error{false};
+  // No per-worker span here: workers are an execution detail, and emitting
+  // them would break the serial-vs-parallel trace-equivalence guarantee.
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count || has_error.load()) break;
       try {
+        CPM_TRACE_SCOPE1("parallel", "parallel_map.task", "index", i);
+        task_counter.add();
         results[i] = fn(i);
       } catch (...) {
         if (!has_error.exchange(true)) first_error = std::current_exception();

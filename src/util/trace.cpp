@@ -1,0 +1,251 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cpm::util::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ThreadBuffer {
+  std::mutex mu;  // uncontended in steady state: only the owner writes
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  std::uint64_t generation = 0;
+};
+
+struct Session {
+  std::mutex mu;  // guards registration + start/stop transitions
+  std::atomic<bool> active{false};
+  std::atomic<std::uint64_t> generation{1};
+  Clock::time_point start_time{};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::ofstream owned_out;
+  std::ostream* out = nullptr;
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls;
+  Session& s = session();
+  const std::uint64_t gen = s.generation.load(std::memory_order_acquire);
+  if (!tls || tls->generation != gen) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->generation = gen;
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      buf->tid = s.next_tid++;
+      s.buffers.push_back(buf);
+    }
+    tls = std::move(buf);
+  }
+  return *tls;
+}
+
+void write_event_json(std::ostream& os, const Event& e) {
+  char num[64];
+  os << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\""
+     << json::escape(e.cat) << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,"
+     << "\"tid\":" << e.tid;
+  std::snprintf(num, sizeof num, "%.3f", e.ts_us);
+  os << ",\"ts\":" << num;
+  if (e.ph == 'X') {
+    std::snprintf(num, sizeof num, "%.3f", e.dur_us);
+    os << ",\"dur\":" << num;
+  }
+  const bool has_args =
+      e.arg_key[0] != nullptr || e.arg_key[1] != nullptr || !e.text_key.empty();
+  if (has_args) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (int k = 0; k < 2; ++k) {
+      if (e.arg_key[k] == nullptr) continue;
+      if (!first) os << ',';
+      first = false;
+      std::snprintf(num, sizeof num, "%.17g", e.arg_val[k]);
+      os << '"' << json::escape(e.arg_key[k]) << "\":" << num;
+    }
+    if (!e.text_key.empty()) {
+      if (!first) os << ',';
+      os << '"' << json::escape(e.text_key) << "\":\"" << json::escape(e.text_val)
+         << '"';
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+void start_session_impl(std::ostream* borrowed, const std::string& path) {
+  Session& s = session();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.active.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("trace: a session is already active");
+  }
+  if (borrowed != nullptr) {
+    s.out = borrowed;
+  } else {
+    s.owned_out.open(path, std::ios::out | std::ios::trunc);
+    if (!s.owned_out) {
+      throw std::runtime_error("trace: cannot open " + path);
+    }
+    s.out = &s.owned_out;
+  }
+  s.buffers.clear();
+  s.next_tid = 1;
+  s.generation.fetch_add(1, std::memory_order_release);
+  s.start_time = Clock::now();
+  s.active.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool active() noexcept {
+  return session().active.load(std::memory_order_relaxed);
+}
+
+void start_session(const std::string& path) { start_session_impl(nullptr, path); }
+
+void start_session(std::ostream& os) { start_session_impl(&os, ""); }
+
+double now_us() noexcept {
+  Session& s = session();
+  if (!s.active.load(std::memory_order_relaxed)) return 0.0;
+  const auto dt = Clock::now() - s.start_time;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void emit(Event event) {
+  Session& s = session();
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  ThreadBuffer& buf = thread_buffer();
+  event.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
+}
+
+std::size_t stop_session() {
+  Session& s = session();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return 0;
+  s.active.store(false, std::memory_order_release);
+
+  std::vector<Event> all;
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  s.buffers.clear();
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+
+  std::ostream& os = *s.out;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '\n';
+    write_event_json(os, all[i]);
+  }
+  os << "\n]}\n";
+  os.flush();
+  if (s.out == &s.owned_out) s.owned_out.close();
+  s.out = nullptr;
+  return all.size();
+}
+
+void instant(const char* cat, const char* name, const char* key, double value) {
+  if (!active()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = now_us();
+  if (key != nullptr) {
+    e.arg_key[0] = key;
+    e.arg_val[0] = value;
+  }
+  emit(std::move(e));
+}
+
+void counter(const char* name, const char* key, double value) {
+  if (!active()) return;
+  Event e;
+  e.name = name;
+  e.cat = "metric";
+  e.ph = 'C';
+  e.ts_us = now_us();
+  e.arg_key[0] = key;
+  e.arg_val[0] = value;
+  emit(std::move(e));
+}
+
+void message(const char* cat, const char* name, const std::string& text) {
+  if (!active()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.text_key = "message";
+  e.text_val = text;
+  emit(std::move(e));
+}
+
+Scope::Scope(const char* cat, const char* name, const char* k0, double v0,
+             const char* k1, double v1) noexcept
+    : armed_(active()), cat_(cat), name_(name) {
+  if (!armed_) return;
+  arg_key_[0] = k0;
+  arg_val_[0] = v0;
+  arg_key_[1] = k1;
+  arg_val_[1] = v1;
+  start_us_ = now_us();
+}
+
+void Scope::arg(const char* key, double value) noexcept {
+  if (!armed_) return;
+  for (int i = 0; i < 2; ++i) {
+    if (arg_key_[i] == nullptr || std::string_view(arg_key_[i]) == key) {
+      arg_key_[i] = key;
+      arg_val_[i] = value;
+      return;
+    }
+  }
+}
+
+Scope::~Scope() {
+  if (!armed_ || !active()) return;
+  Event e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ph = 'X';
+  e.ts_us = start_us_;
+  e.dur_us = now_us() - start_us_;
+  e.arg_key[0] = arg_key_[0];
+  e.arg_val[0] = arg_val_[0];
+  e.arg_key[1] = arg_key_[1];
+  e.arg_val[1] = arg_val_[1];
+  emit(std::move(e));
+}
+
+}  // namespace cpm::util::trace

@@ -1,0 +1,102 @@
+#include "util/bench_telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cpm::util {
+namespace {
+
+BenchTelemetryData sample() {
+  BenchTelemetryData data;
+  data.name = "fig13_island_size";
+  data.ok = true;
+  data.wall_s = 2.4375;
+  data.iterations = 6;
+  data.records = 50400;
+  data.records_per_s = 20676.9;
+  data.peak_rss_bytes = 53477376;
+  data.config_hash = fnv1a_hex("fig13_island_size");
+  return data;
+}
+
+TEST(BenchTelemetry, SchemaRoundTrips) {
+  std::ostringstream out;
+  write_bench_json(out, sample());
+  const BenchTelemetryData parsed = parse_bench_json(out.str());
+  EXPECT_EQ(parsed.name, "fig13_island_size");
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_DOUBLE_EQ(parsed.wall_s, 2.4375);
+  EXPECT_EQ(parsed.iterations, 6u);
+  EXPECT_EQ(parsed.records, 50400u);
+  EXPECT_DOUBLE_EQ(parsed.records_per_s, 20676.9);
+  EXPECT_EQ(parsed.peak_rss_bytes, 53477376u);
+  EXPECT_EQ(parsed.config_hash, sample().config_hash);
+}
+
+TEST(BenchTelemetry, EscapesNamesInJson) {
+  BenchTelemetryData data = sample();
+  data.name = "odd\"name\\with\nescapes";
+  std::ostringstream out;
+  write_bench_json(out, data);
+  EXPECT_EQ(parse_bench_json(out.str()).name, data.name);
+}
+
+TEST(BenchTelemetry, ParseRejectsMissingKeysAndBadVersions) {
+  EXPECT_THROW(parse_bench_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_bench_json("[]"), std::runtime_error);
+  EXPECT_THROW(parse_bench_json(R"({"schema_version":99,"name":"x"})"),
+               std::runtime_error);
+  // Drop one required key at a time.
+  std::ostringstream out;
+  write_bench_json(out, sample());
+  const std::string good = out.str();
+  for (const char* key :
+       {"\"ok\"", "\"wall_s\"", "\"records\"", "\"config_hash\""}) {
+    std::string bad = good;
+    const std::size_t at = bad.find(key);
+    ASSERT_NE(at, std::string::npos) << key;
+    bad.insert(at + 1, 1, 'x');  // "ok" -> "xok": key goes missing
+    EXPECT_THROW(parse_bench_json(bad), std::runtime_error) << key;
+  }
+}
+
+TEST(BenchTelemetry, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(fnv1a_hex(""), "cbf29ce484222325");  // FNV offset basis
+  EXPECT_EQ(fnv1a_hex("a").size(), 16u);
+  EXPECT_NE(fnv1a_hex("a"), fnv1a_hex("b"));
+}
+
+TEST(BenchTelemetry, CurrentTracksLiveInstance) {
+  EXPECT_EQ(BenchTelemetry::current(), nullptr);
+  {
+    BenchTelemetry telemetry("unit_test");
+    EXPECT_EQ(BenchTelemetry::current(), &telemetry);
+    telemetry.note_config("variant A");
+    telemetry.add_iterations(3);
+    telemetry.add_records(10);
+    EXPECT_EQ(telemetry.finish(true), 0);
+    const BenchTelemetryData snap = telemetry.snapshot();
+    EXPECT_EQ(snap.name, "unit_test");
+    EXPECT_TRUE(snap.ok);
+    EXPECT_EQ(snap.iterations, 3u);
+    EXPECT_EQ(snap.records, 10u);
+    EXPECT_GE(snap.wall_s, 0.0);
+    EXPECT_GT(snap.peak_rss_bytes, 0u);
+    // note_config changes the hash vs the name-only baseline.
+    EXPECT_NE(snap.config_hash, fnv1a_hex("unit_test"));
+  }
+  EXPECT_EQ(BenchTelemetry::current(), nullptr);
+}
+
+TEST(BenchTelemetry, FinishMapsVerdictToExitCode) {
+  BenchTelemetry telemetry("exit_codes");
+  EXPECT_EQ(telemetry.finish(false), 1);
+  EXPECT_FALSE(telemetry.snapshot().ok);
+  EXPECT_EQ(telemetry.finish(true), 0);
+  EXPECT_TRUE(telemetry.snapshot().ok);
+}
+
+}  // namespace
+}  // namespace cpm::util

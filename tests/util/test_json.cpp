@@ -1,0 +1,73 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace cpm::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_DOUBLE_EQ(parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").number, -1500.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const Value doc = parse(
+      R"({"name":"x","vals":[1,2,3],"meta":{"ok":true,"note":null}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("vals"), nullptr);
+  ASSERT_EQ(doc.find("vals")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("vals")->array[1].number, 2.0);
+  const Value* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_TRUE(meta->find("ok")->boolean);
+  EXPECT_TRUE(meta->find("note")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder) {
+  const Value doc = parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.object[2].first, "m");
+}
+
+TEST(Json, DecodesEscapes) {
+  const Value doc = parse(R"("line\nquote\"slash\\u:\u0041")");
+  EXPECT_EQ(doc.string, "line\nquote\"slash\\u:A");
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string raw = "a\"b\\c\n\t\x01 d";
+  std::string quoted = "\"";
+  quoted += escape(raw);
+  quoted += '"';
+  const Value doc = parse(quoted);
+  EXPECT_EQ(doc.string, raw);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse("nul"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("1 2"), std::runtime_error);  // trailing garbage
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(parse(deep), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpm::util::json

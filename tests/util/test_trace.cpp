@@ -1,0 +1,162 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/log.h"
+
+namespace cpm::util::trace {
+namespace {
+
+#if CPM_TRACING_ENABLED
+
+TEST(Trace, InactiveByDefaultAndEmitsNothing) {
+  ASSERT_FALSE(active());
+  // Scopes and instants with no session must be inert no-ops.
+  {
+    CPM_TRACE_SCOPE("test", "noop");
+    CPM_TRACE_INSTANT("test", "noop", "v", 1.0);
+    CPM_TRACE_COUNTER("noop", "v", 2.0);
+  }
+  EXPECT_EQ(stop_session(), 0u);  // no session -> no-op
+}
+
+TEST(Trace, SessionProducesValidChromeJson) {
+  std::ostringstream out;
+  start_session(out);
+  ASSERT_TRUE(active());
+  {
+    CPM_TRACE_SCOPE2("test", "outer", "a", 1.0, "b", 2.0);
+    CPM_TRACE_SCOPE("test", "inner");
+    CPM_TRACE_INSTANT("test", "marker", "k", 3.0);
+    CPM_TRACE_COUNTER("power", "w", 42.5);
+  }
+  message("log", "INFO", "hello \"world\"\n");
+  const std::size_t events = stop_session();
+  EXPECT_FALSE(active());
+  EXPECT_EQ(events, 5u);
+
+  const json::Value doc = json::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* list = doc.find("traceEvents");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 5u);
+  std::set<std::string> names;
+  for (const json::Value& event : list->array) {
+    ASSERT_TRUE(event.is_object());
+    names.insert(event.find("name")->string);
+    ASSERT_NE(event.find("ph"), nullptr);
+    ASSERT_NE(event.find("ts"), nullptr);
+    EXPECT_GE(event.find("ts")->number, 0.0);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"outer", "inner", "marker", "power",
+                                          "INFO"}));
+  // The complete events carry their numeric args.
+  for (const json::Value& event : list->array) {
+    if (event.find("name")->string == "outer") {
+      const json::Value* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->find("a")->number, 1.0);
+      EXPECT_DOUBLE_EQ(args->find("b")->number, 2.0);
+    }
+  }
+}
+
+TEST(Trace, EventsAreSortedByTimestamp) {
+  std::ostringstream out;
+  start_session(out);
+  for (int i = 0; i < 50; ++i) {
+    CPM_TRACE_INSTANT("test", "tick", "i", i);
+  }
+  stop_session();
+  const json::Value doc = json::parse(out.str());
+  const json::Value* list = doc.find("traceEvents");
+  ASSERT_NE(list, nullptr);
+  double prev = -1.0;
+  for (const json::Value& event : list->array) {
+    EXPECT_GE(event.find("ts")->number, prev);
+    prev = event.find("ts")->number;
+  }
+}
+
+TEST(Trace, MultithreadedEmitKeepsEveryEvent) {
+  std::ostringstream out;
+  start_session(out);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        CPM_TRACE_SCOPE2("test", "work", "thread", t, "i", i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(stop_session(), std::size_t{kThreads * kPerThread});
+
+  const json::Value doc = json::parse(out.str());
+  const json::Value* list = doc.find("traceEvents");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), std::size_t{kThreads * kPerThread});
+  std::set<double> tids;
+  for (const json::Value& event : list->array) {
+    tids.insert(event.find("tid")->number);
+  }
+  EXPECT_EQ(tids.size(), std::size_t{kThreads});
+}
+
+TEST(Trace, ScopeOpenedBeforeSessionStaysInert) {
+  std::ostringstream out;
+  {
+    Scope pre("test", "premature");  // no session yet
+    start_session(out);
+    pre.arg("late", 1.0);  // must not arm the scope retroactively
+  }
+  EXPECT_EQ(stop_session(), 0u);
+}
+
+TEST(Trace, SecondSessionRejectedWhileActive) {
+  std::ostringstream a, b;
+  start_session(a);
+  EXPECT_THROW(start_session(b), std::runtime_error);
+  stop_session();
+}
+
+TEST(Trace, LogLinesMirrorOntoTimeline) {
+  std::ostringstream out;
+  const LogLevel prev = log_threshold();
+  set_log_threshold(LogLevel::kInfo);
+  start_session(out);
+  log_info() << "mirrored line";
+  stop_session();
+  set_log_threshold(prev);
+  const json::Value doc = json::parse(out.str());
+  const json::Value* list = doc.find("traceEvents");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 1u);
+  const json::Value& event = list->array[0];
+  EXPECT_EQ(event.find("cat")->string, "log");
+  EXPECT_EQ(event.find("args")->find("message")->string, "mirrored line");
+}
+
+#else  // !CPM_TRACING_ENABLED
+
+TEST(Trace, CompiledOutSessionRecordsNothing) {
+  std::ostringstream out;
+  start_session(out);
+  CPM_TRACE_SCOPE("test", "noop");
+  CPM_TRACE_INSTANT("test", "noop", "v", 1.0);
+  EXPECT_EQ(stop_session(), 0u);
+}
+
+#endif  // CPM_TRACING_ENABLED
+
+}  // namespace
+}  // namespace cpm::util::trace
